@@ -1,0 +1,29 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analyzer/analyzer.hpp"
+#include "core/composite.hpp"
+#include "gen/registry.hpp"
+#include "report/cube_view.hpp"
+#include "report/timeline.hpp"
+
+namespace ats::benchutil {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n\n");
+}
+
+/// Default run configuration used by the reproduction benches: the stock
+/// cost model (realistic overheads), four-rank minimum.
+inline gen::RunConfig default_config(int nprocs) {
+  gen::RunConfig cfg;
+  cfg.nprocs = nprocs;
+  return cfg;
+}
+
+}  // namespace ats::benchutil

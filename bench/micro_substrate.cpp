@@ -1,0 +1,148 @@
+// MICRO — google-benchmark microbenchmarks of the substrate: scheduler
+// handoff cost, p2p message rate, collective rate, trace recording and
+// serialisation, distribution evaluation, analyzer replay rate.  These
+// quantify the simulator's own performance (events/second), which bounds
+// how large a synthetic test program the suite can generate per second of
+// host time.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analyzer/analyzer.hpp"
+#include "core/distribution.hpp"
+#include "core/properties.hpp"
+#include "mpisim/world.hpp"
+#include "report/timeline.hpp"
+#include "simt/engine.hpp"
+
+namespace {
+
+using namespace ats;
+
+void BM_SchedulerHandoff(benchmark::State& state) {
+  // Cost of one yield (two OS context switches) measured over a batch.
+  const int yields_per_run = 1000;
+  for (auto _ : state) {
+    simt::Engine eng;
+    eng.add_location("a", [&](simt::Context& c) {
+      for (int i = 0; i < yields_per_run; ++i) c.yield();
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * yields_per_run);
+}
+BENCHMARK(BM_SchedulerHandoff)->Unit(benchmark::kMillisecond);
+
+void BM_P2PMessageRate(benchmark::State& state) {
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::MpiRunOptions opt;
+    opt.nprocs = 2;
+    mpi::run_mpi(opt, [&](mpi::Proc& p) {
+      int v = 0;
+      if (p.world_rank() == 0) {
+        for (int i = 0; i < msgs; ++i) {
+          p.send(&v, 1, mpi::Datatype::kInt32, 1, 0, p.comm_world());
+        }
+      } else {
+        for (int i = 0; i < msgs; ++i) {
+          p.recv(&v, 1, mpi::Datatype::kInt32, 0, 0, p.comm_world());
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_P2PMessageRate)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_CollectiveRate(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const int colls = 50;
+  for (auto _ : state) {
+    mpi::MpiRunOptions opt;
+    opt.nprocs = np;
+    mpi::run_mpi(opt, [&](mpi::Proc& p) {
+      for (int i = 0; i < colls; ++i) p.barrier(p.comm_world());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * colls * np);
+}
+BENCHMARK(BM_CollectiveRate)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_DistributionEval(benchmark::State& state) {
+  const core::Distribution d = core::Distribution::linear(0.01, 0.05);
+  int me = 0;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += d(me, 64);
+    me = (me + 1) % 64;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DistributionEval);
+
+trace::Trace make_trace(int np, int reps) {
+  mpi::MpiRunOptions opt;
+  opt.nprocs = np;
+  return mpi::run_mpi(opt,
+                      [&](mpi::Proc& p) {
+                        core::PropCtx ctx = core::PropCtx::from(p);
+                        core::late_sender(ctx, 0.001, 0.002, reps,
+                                          p.comm_world());
+                        core::imbalance_at_mpi_barrier(
+                            ctx, core::Distribution::linear(0.001, 0.004),
+                            reps, p.comm_world());
+                      })
+      .trace;
+}
+
+void BM_AnalyzerReplay(benchmark::State& state) {
+  const trace::Trace tr = make_trace(8, 20);
+  for (auto _ : state) {
+    const auto result = analyze::analyze(tr);
+    benchmark::DoNotOptimize(result.total_time);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tr.event_count()));
+  state.counters["events"] = static_cast<double>(tr.event_count());
+}
+BENCHMARK(BM_AnalyzerReplay)->Unit(benchmark::kMillisecond);
+
+void BM_TraceSerialise(benchmark::State& state) {
+  const trace::Trace tr = make_trace(8, 20);
+  for (auto _ : state) {
+    std::ostringstream os;
+    tr.save(os);
+    benchmark::DoNotOptimize(os.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tr.event_count()));
+}
+BENCHMARK(BM_TraceSerialise)->Unit(benchmark::kMillisecond);
+
+void BM_TraceParse(benchmark::State& state) {
+  const trace::Trace tr = make_trace(8, 20);
+  std::ostringstream os;
+  tr.save(os);
+  const std::string text = os.str();
+  for (auto _ : state) {
+    std::istringstream is(text);
+    const trace::Trace loaded = trace::Trace::load(is);
+    benchmark::DoNotOptimize(loaded.event_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tr.event_count()));
+}
+BENCHMARK(BM_TraceParse)->Unit(benchmark::kMillisecond);
+
+void BM_TimelineRender(benchmark::State& state) {
+  const trace::Trace tr = make_trace(8, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::render_timeline(tr).size());
+  }
+}
+BENCHMARK(BM_TimelineRender)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// TAB-ABL — ablations of the design choices DESIGN.md §6 lists.
+//
+// 1. Protocol threshold: a fixed 8 KiB message with a 25 ms late receiver,
+//    swept over the eager/rendezvous threshold — the late-receiver wait
+//    state exists only on the rendezvous side of the crossover.
+// 2. Analyzer sensitivity: detection of a fixed mild property vs the
+//    reporting threshold (the paper's "tools have different
+//    thresholds/sensitivities").
+// 3. Tracing cost per event (the overhead knob of the trace design).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ats;
+
+int main() {
+  benchutil::heading("TAB-ABL 1: eager/rendezvous threshold vs late-receiver "
+                     "visibility (8 KiB message, receiver 25 ms late)");
+  std::printf("eager threshold   protocol     late-receiver severity\n");
+  std::printf("----------------------------------------------------\n");
+  for (std::size_t threshold :
+       {std::size_t{1} << 10, std::size_t{1} << 12, std::size_t{1} << 13,
+        std::size_t{1} << 14, std::size_t{1} << 16}) {
+    mpi::MpiRunOptions opt;
+    opt.nprocs = 2;
+    opt.cost.eager_threshold = threshold;
+    auto run = mpi::run_mpi(opt, [](mpi::Proc& p) {
+      std::vector<double> buf(1024);
+      if (p.world_rank() == 0) {
+        p.send(buf.data(), 1024, mpi::Datatype::kDouble, 1, 0,
+               p.comm_world());
+      } else {
+        p.sim().advance(VDur::millis(25));
+        p.recv(buf.data(), 1024, mpi::Datatype::kDouble, 0, 0,
+               p.comm_world());
+      }
+    });
+    const auto result = analyze::analyze(run.trace);
+    const VDur lr = result.cube.total(analyze::PropertyId::kLateReceiver);
+    std::printf("%10zu KiB   %-10s %s\n", threshold / 1024,
+                threshold < 8 * 1024 ? "rendezvous" : "eager",
+                lr.str().c_str());
+  }
+  std::printf("(the property function late_receiver uses ssend and is "
+              "threshold independent)\n");
+
+  benchutil::heading("TAB-ABL 2: analyzer sensitivity sweep (late_sender, "
+                     "injection share ~8%)");
+  gen::ParamMap pm;
+  pm.set("basework", "0.05");
+  pm.set("extrawork", "0.01");
+  const trace::Trace tr = gen::run_single_property(
+      "late_sender", pm, benchutil::default_config(4));
+  std::printf("threshold   reported?   dominant finding\n");
+  std::printf("-----------------------------------------\n");
+  for (double threshold : {0.001, 0.01, 0.05, 0.10, 0.25}) {
+    analyze::AnalyzerOptions opt;
+    opt.threshold = threshold;
+    const auto result = analyze::analyze(tr, opt);
+    const auto dom = result.dominant();
+    std::printf("%9.3f   %-9s   %s\n", threshold, dom ? "yes" : "no",
+                dom ? analyze::property_name(dom->prop) : "-");
+  }
+
+  benchutil::heading("TAB-ABL 3: host cost of tracing per simulated event");
+  using Clock = std::chrono::steady_clock;
+  for (bool traced : {false, true}) {
+    mpi::MpiRunOptions opt;
+    opt.nprocs = 4;
+    opt.trace_enabled = traced;
+    const auto t0 = Clock::now();
+    auto run = mpi::run_mpi(opt, [](mpi::Proc& p) {
+      core::PropCtx ctx = core::PropCtx::from(p);
+      core::late_sender(ctx, 0.0001, 0.0002, 200, p.comm_world());
+    });
+    const double dt =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("tracing %-3s: %7.2f ms host time, %6zu events\n",
+                traced ? "on" : "off", 1e3 * dt, run.trace.event_count());
+  }
+  return 0;
+}

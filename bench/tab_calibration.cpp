@@ -1,0 +1,60 @@
+// TAB-CAL — busy-work calibration accuracy (paper §3.1.1).
+//
+// The paper's do_work approximates real time "up to a certain degree
+// (approx. milliseconds)" using a calibrated loop of random array accesses.
+// This bench reproduces the calibration procedure and measures, per
+// requested duration, the actual wall-clock time of the busy loop — the
+// accuracy table the paper's description implies.  (Tolerances are loose:
+// this runs on whatever machine executes the suite.)
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/work.hpp"
+
+int main() {
+  using namespace ats;
+  using Clock = std::chrono::steady_clock;
+
+  benchutil::heading("TAB-CAL: busy-work calibration accuracy");
+
+  const std::size_t elems = 1 << 14;
+  const double ips = core::calibrate_busy_work(elems, 0.15);
+  std::printf("calibration: %.3g iterations/second (arrays of %zu doubles)\n\n",
+              ips, elems);
+
+  std::printf("requested [ms]   measured [ms]   error [ms]   error [%%]\n");
+  std::printf("------------------------------------------------------\n");
+  for (double req : {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    const auto iters = static_cast<std::uint64_t>(req * ips);
+    const auto t0 = Clock::now();
+    (void)core::busy_work_iterations(iters, elems, /*seed=*/7);
+    const double got =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("%14.1f   %13.3f   %10.3f   %9.1f\n", 1e3 * req, 1e3 * got,
+                1e3 * (got - req), 100.0 * (got - req) / req);
+  }
+  std::printf("\n(the paper promises ~millisecond accuracy under low load;\n"
+              " virtual-time mode, the library default, is exact by "
+              "construction)\n");
+
+  benchutil::heading("TAB-CAL addendum: per-kernel calibration (sequential "
+                     "performance characters, paper §5 future work)");
+  std::printf("kernel    iterations/second   note\n");
+  std::printf("---------------------------------------------------------\n");
+  for (core::BusyKernel k :
+       {core::BusyKernel::kMixed, core::BusyKernel::kMemoryBound,
+        core::BusyKernel::kComputeBound}) {
+    const double kips = core::calibrate_busy_work(1 << 18, 0.1, k);
+    const char* note =
+        k == core::BusyKernel::kMemoryBound
+            ? "dependent pointer chase (latency bound)"
+            : (k == core::BusyKernel::kComputeBound
+                   ? "register FP chain (ALU bound)"
+                   : "the paper's random read/write loop");
+    std::printf("%-9s %18.3g   %s\n", core::to_string(k), kips, note);
+  }
+  std::printf("(a memory-bound iteration should be substantially slower "
+              "than a compute-bound one on cached hardware)\n");
+  return 0;
+}

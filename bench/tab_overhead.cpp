@@ -1,0 +1,81 @@
+// TAB-OVH — the instrumentation-overhead procedure (paper Ch. 2).
+//
+// "Run the benchmark suite without and with the tool instrumentation and
+// compare the outcome."  Here: run a fixed workload with tracing disabled
+// and enabled, compare (a) the host wall-clock cost of the run — the
+// instrumentation overhead, (b) the simulated result data — the
+// semantics-preservation check, (c) the simulated makespan, which must be
+// IDENTICAL because virtual time is independent of tracing (the ideal
+// non-intrusive tool the paper wishes for).
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace ats;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct RunOutcome {
+  double host_seconds = 0;
+  VTime makespan;
+  std::size_t events = 0;
+  double checksum = 0;
+};
+
+RunOutcome workload(bool traced, int np) {
+  mpi::MpiRunOptions options;
+  options.nprocs = np;
+  options.trace_enabled = traced;
+  double checksum = 0;
+  const auto t0 = Clock::now();
+  auto run = mpi::run_mpi(options, [&](mpi::Proc& p) {
+    core::PropCtx ctx = core::PropCtx::from(p);
+    // A mixed workload: property functions + a data-carrying allreduce.
+    core::late_sender(ctx, 0.005, 0.01, 3, p.comm_world());
+    core::imbalance_at_mpi_barrier(
+        ctx, core::Distribution::linear(0.005, 0.02), 3, p.comm_world());
+    double v = p.world_rank() + 1.0, out = 0;
+    p.allreduce(&v, &out, 1, mpi::Datatype::kDouble, mpi::ReduceOp::kSum,
+                p.comm_world());
+    if (p.world_rank() == 0) checksum = out;
+  });
+  RunOutcome o;
+  o.host_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  o.makespan = run.makespan;
+  o.events = run.trace.event_count();
+  o.checksum = checksum;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::heading("TAB-OVH: uninstrumented vs instrumented runs (Ch. 2 procedure)");
+
+  std::printf("np   tracing   host time [ms]   events   sim makespan   checksum\n");
+  std::printf("------------------------------------------------------------------\n");
+  bool all_ok = true;
+  for (int np : {2, 4, 8, 16}) {
+    const RunOutcome off = workload(false, np);
+    const RunOutcome on = workload(true, np);
+    for (const auto* o : {&off, &on}) {
+      std::printf("%-4d %-9s %14.2f %8zu %14s %10.1f\n", np,
+                  o == &off ? "off" : "on", 1e3 * o->host_seconds, o->events,
+                  o->makespan.str().c_str(), o->checksum);
+    }
+    const bool same_semantics = off.checksum == on.checksum;
+    const bool same_makespan = off.makespan == on.makespan;
+    all_ok = all_ok && same_semantics && same_makespan;
+    std::printf("     -> semantics %s, timing distortion %s, overhead x%.2f "
+                "host time\n",
+                same_semantics ? "preserved" : "CHANGED",
+                same_makespan ? "zero (non-intrusive)" : "PRESENT",
+                off.host_seconds > 0 ? on.host_seconds / off.host_seconds
+                                     : 0.0);
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// TAB-SEV — severity controllability (paper §3.1: "it is important that
+// the test suite is parametrized so that the relative severity of the
+// properties can be controlled by the user").
+//
+// Three sweeps:
+//  1. late_sender: measured severity vs injected extrawork (expect linear,
+//     slope = waits-per-run = (#receivers x r)),
+//  2. imbalance_at_mpi_barrier: severity vs repetition factor (expect
+//     linear in r),
+//  3. a two-property program where the injected ratio crosses over: the
+//     analyzer's ranking must flip exactly where the injection says.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+
+using namespace ats;
+
+namespace {
+
+double late_sender_severity(double extrawork, int r, int np) {
+  gen::ParamMap pm;
+  pm.set("basework", "0.01");
+  pm.set("extrawork", fmt_double(extrawork, 5));
+  pm.set("r", std::to_string(r));
+  const auto tr = gen::run_single_property("late_sender", pm,
+                                           benchutil::default_config(np));
+  const auto result = analyze::analyze(tr);
+  return result.cube.total(analyze::PropertyId::kLateSender).sec();
+}
+
+double barrier_severity(int r, int np) {
+  gen::ParamMap pm;
+  pm.set("df", "linear:low=0.01,high=0.05");
+  pm.set("r", std::to_string(r));
+  const auto tr = gen::run_single_property(
+      "imbalance_at_mpi_barrier", pm, benchutil::default_config(np));
+  const auto result = analyze::analyze(tr);
+  return result.cube.total(analyze::PropertyId::kWaitAtBarrier).sec();
+}
+
+}  // namespace
+
+int main() {
+  benchutil::heading("TAB-SEV sweep 1: late_sender severity vs extrawork "
+                     "(np=8, r=2; expected = 8 waits x extrawork)");
+  std::printf("extrawork [ms]   measured total wait [ms]   expected [ms]   ratio\n");
+  std::printf("----------------------------------------------------------------\n");
+  for (double extra : {0.01, 0.02, 0.04, 0.08, 0.16}) {
+    const double sev = late_sender_severity(extra, 2, 8);
+    const double expected = 4 /*receivers*/ * 2 /*r*/ * extra;
+    std::printf("%12.1f   %24.2f   %13.1f   %.3f\n", 1e3 * extra, 1e3 * sev,
+                1e3 * expected, sev / expected);
+  }
+
+  benchutil::heading("TAB-SEV sweep 2: wait-at-barrier severity vs "
+                     "repetition factor (np=8, linear df)");
+  std::printf("r    measured total wait [ms]   per-iteration [ms]\n");
+  std::printf("--------------------------------------------------\n");
+  double per_iter0 = 0;
+  for (int r : {1, 2, 4, 8}) {
+    const double sev = barrier_severity(r, 8);
+    if (r == 1) per_iter0 = sev;
+    std::printf("%-4d %24.2f   %18.2f\n", r, 1e3 * sev, 1e3 * sev / r);
+  }
+  std::printf("(per-iteration severity must stay ~constant: %0.2f ms)\n",
+              1e3 * per_iter0);
+
+  benchutil::heading("TAB-SEV sweep 3: ranking crossover between two "
+                     "properties in one program (np=4)");
+  std::printf("barrier-extra/sender-extra   top finding        2nd finding\n");
+  std::printf("-------------------------------------------------------------\n");
+  for (double ratio : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double sender_extra = 0.04;
+    const double barrier_extra = sender_extra * ratio;
+    mpi::MpiRunOptions options;
+    options.nprocs = 4;
+    auto run = mpi::run_mpi(options, [&](mpi::Proc& p) {
+      core::PropCtx ctx = core::PropCtx::from(p);
+      core::late_sender(ctx, 0.01, sender_extra, 2, p.comm_world());
+      core::imbalance_at_mpi_barrier(
+          ctx, core::Distribution::peak(0.01, 0.01 + barrier_extra, 0), 2,
+          p.comm_world());
+    });
+    const auto result = analyze::analyze(run.trace);
+    std::string top = "-", second = "-";
+    int seen = 0;
+    for (const auto& f : result.findings) {
+      if (analyze::property_info(f.prop).is_overhead) continue;
+      if (seen == 0) top = analyze::property_name(f.prop);
+      if (seen == 1) second = analyze::property_name(f.prop);
+      ++seen;
+    }
+    std::printf("%26.2f   %-18s %-18s\n", ratio, top.c_str(),
+                second.c_str());
+  }
+  std::printf("(expected: 'late sender' on top for ratios < ~0.7, 'wait at "
+              "barrier' above — the barrier wait is paid by 3 ranks)\n");
+  return 0;
+}

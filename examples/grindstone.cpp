@@ -1,0 +1,191 @@
+// grindstone — a homage to the Grindstone test suite the paper cites
+// (Hollingsworth et al.): a handful of miniature programs, each with one
+// classic, well-understood bottleneck, run through the automatic analyzer.
+//
+//   $ ./grindstone            # run all kernels
+//   $ ./grindstone hotspot    # run one kernel
+//
+// Kernels:
+//   hotspot        every rank funnels results to rank 0 (server congestion)
+//   bigmessages    oversized halo messages dominate (bandwidth bound)
+//   diffuse        slowly drifting load imbalance across iterations
+//   pingpong       tightly coupled dependency chain between two ranks
+//   serialring     token passed around a ring — total serialisation
+//
+// For each kernel the program prints the analyzer's findings and a short
+// note on what a performance expert would expect to see.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "core/propctx.hpp"
+#include "report/cube_view.hpp"
+#include "report/timeline.hpp"
+
+namespace {
+
+using namespace ats;
+
+struct Kernel {
+  const char* name;
+  const char* expectation;
+  int nprocs;
+  void (*body)(mpi::Proc&);
+};
+
+void hotspot(mpi::Proc& p) {
+  core::PropCtx ctx = core::PropCtx::from(p);
+  mpi::Comm& world = p.comm_world();
+  const int rounds = 5;
+  for (int i = 0; i < rounds; ++i) {
+    core::do_work(ctx, 0.01);
+    if (p.world_rank() == 0) {
+      // The "server" consumes one message per client, in arrival order,
+      // with per-message handling time: clients queue up.
+      int v = 0;
+      for (int c = 1; c < world.size(); ++c) {
+        mpi::Status st;
+        p.recv(&v, 1, mpi::Datatype::kInt32, mpi::kAnySource, 0, world,
+               &st);
+        core::do_work(ctx, 0.008);  // handling time per request
+        p.send(&v, 1, mpi::Datatype::kInt32, st.source, 1, world);
+      }
+    } else {
+      int v = p.world_rank();
+      p.ssend(&v, 1, mpi::Datatype::kInt32, 0, 0, world);
+      p.recv(&v, 1, mpi::Datatype::kInt32, 0, 1, world);
+    }
+  }
+}
+
+void bigmessages(mpi::Proc& p) {
+  core::PropCtx ctx = core::PropCtx::from(p);
+  mpi::Comm& world = p.comm_world();
+  const int elems = 4 * 1024 * 1024 / 8;  // 4 MiB of doubles
+  std::vector<double> out(elems, 1.0), in(elems);
+  const int me = p.world_rank();
+  const int np = world.size();
+  for (int i = 0; i < 3; ++i) {
+    core::do_work(ctx, 0.002);
+    p.sendrecv(out.data(), elems, mpi::Datatype::kDouble, (me + 1) % np, 0,
+               in.data(), elems, mpi::Datatype::kDouble, (me + np - 1) % np,
+               0, world);
+  }
+}
+
+void diffuse(mpi::Proc& p) {
+  core::PropCtx ctx = core::PropCtx::from(p);
+  mpi::Comm& world = p.comm_world();
+  const int me = p.world_rank();
+  const int np = world.size();
+  for (int i = 0; i < 8; ++i) {
+    // The load peak wanders across the ranks over the iterations.
+    const double work = (me == i % np) ? 0.04 : 0.01;
+    core::do_work(ctx, work);
+    p.barrier(world);
+  }
+}
+
+void pingpong(mpi::Proc& p) {
+  core::PropCtx ctx = core::PropCtx::from(p);
+  mpi::Comm& world = p.comm_world();
+  if (p.world_rank() > 1) {
+    // Spectators idle in a final barrier — also a diagnosable smell.
+    p.barrier(world);
+    return;
+  }
+  int v = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (p.world_rank() == 0) {
+      core::do_work(ctx, 0.004);
+      p.send(&v, 1, mpi::Datatype::kInt32, 1, 0, world);
+      p.recv(&v, 1, mpi::Datatype::kInt32, 1, 0, world);
+    } else {
+      p.recv(&v, 1, mpi::Datatype::kInt32, 0, 0, world);
+      core::do_work(ctx, 0.004);
+      p.send(&v, 1, mpi::Datatype::kInt32, 0, 0, world);
+    }
+  }
+  p.barrier(world);
+}
+
+void serialring(mpi::Proc& p) {
+  // A token makes two laps around the ring; only the holder computes.
+  // The visit sequence is 0, 1, ..., np-1, 0, 1, ..., np-1 (ends at the
+  // last rank), so rank 0 holds the token twice, the last rank twice (no
+  // forward on the final visit) and everyone else twice as well.
+  core::PropCtx ctx = core::PropCtx::from(p);
+  mpi::Comm& world = p.comm_world();
+  const int me = p.world_rank();
+  const int np = world.size();
+  const int next = (me + 1) % np;
+  const int prev = (me + np - 1) % np;
+  int token = 0;
+  auto hold_and_forward = [&](bool forward) {
+    core::do_work(ctx, 0.01);
+    if (forward) p.send(&token, 1, mpi::Datatype::kInt32, next, 0, world);
+  };
+  if (me == 0) {
+    hold_and_forward(true);                                   // visit 1
+    p.recv(&token, 1, mpi::Datatype::kInt32, prev, 0, world);
+    hold_and_forward(true);                                   // visit 2
+  } else {
+    p.recv(&token, 1, mpi::Datatype::kInt32, prev, 0, world);
+    hold_and_forward(true);                                   // visit 1
+    p.recv(&token, 1, mpi::Datatype::kInt32, prev, 0, world);
+    hold_and_forward(me != np - 1);                           // visit 2
+  }
+}
+
+constexpr Kernel kKernels[] = {
+    {"hotspot",
+     "late receiver / late sender around the rank-0 server; clients "
+     "serialised",
+     8, &hotspot},
+    {"bigmessages",
+     "large MPI share dominated by transfer time (bandwidth bound)", 4,
+     &bigmessages},
+    {"diffuse",
+     "wait at barrier spread over all ranks (the peak keeps moving)", 4,
+     &diffuse},
+    {"pingpong",
+     "late sender on both partners (dependency chain) plus idle spectators",
+     4, &pingpong},
+    {"serialring",
+     "late sender everywhere: only one rank computes at a time", 6,
+     &serialring},
+};
+
+int run_kernel(const Kernel& k) {
+  std::printf("\n=== grindstone kernel '%s' (np=%d) ===\n", k.name,
+              k.nprocs);
+  std::printf("expected: %s\n\n", k.expectation);
+  mpi::MpiRunOptions options;
+  options.nprocs = k.nprocs;
+  auto run = mpi::run_mpi(options, [&](mpi::Proc& p) { k.body(p); });
+  report::TimelineOptions topt;
+  topt.width = 80;
+  topt.legend = false;
+  std::cout << report::render_timeline(run.trace, topt) << "\n";
+  const auto result = analyze::analyze(run.trace);
+  std::cout << report::render_findings(result, run.trace);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool any = false;
+  for (const Kernel& k : kKernels) {
+    if (argc > 1 && std::strcmp(argv[1], k.name) != 0) continue;
+    run_kernel(k);
+    any = true;
+  }
+  if (!any) {
+    std::fprintf(stderr, "unknown kernel '%s'\n", argv[1]);
+    return 2;
+  }
+  return 0;
+}

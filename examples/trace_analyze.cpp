@@ -1,0 +1,47 @@
+// trace_analyze — standalone analysis of a saved ATS trace file.
+//
+//   $ ./quickstart                       # writes quickstart.atstrace
+//   $ ./trace_analyze quickstart.atstrace
+//
+// Demonstrates the decoupling a real tool chain has (trace file -> offline
+// analyzer): the analyzer consumes only the serialised events, proving the
+// detection logic needs no access to the generating program.
+#include <fstream>
+#include <iostream>
+
+#include "analyzer/analyzer.hpp"
+#include "report/cube_view.hpp"
+#include "report/cube_xml.hpp"
+#include "report/timeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ats;
+  if (argc < 2) {
+    std::cerr << "usage: trace_analyze <trace-file> [--xml <out.cube.xml>]\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  try {
+    const trace::Trace tr = trace::Trace::load(in);
+    std::cout << "loaded " << tr.event_count() << " events over "
+              << tr.location_count() << " locations\n\n";
+    std::cout << report::render_timeline(tr) << "\n";
+    std::cout << report::render_location_summary(tr) << "\n";
+    const auto result = analyze::analyze(tr);
+    std::cout << report::render_analysis(result, tr);
+    std::cout << "\n" << report::render_profile(result, tr);
+    if (argc >= 4 && std::string(argv[2]) == "--xml") {
+      std::ofstream xml(argv[3]);
+      report::write_cube_xml(xml, result, tr);
+      std::cout << "\ncube written to " << argv[3] << "\n";
+    }
+  } catch (const ats::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

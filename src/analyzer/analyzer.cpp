@@ -1,0 +1,642 @@
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/strutil.hpp"
+
+namespace ats::analyze {
+
+bool AnalyzerOptions::is_disabled(PropertyId p) const {
+  return std::find(disabled_patterns.begin(), disabled_patterns.end(), p) !=
+         disabled_patterns.end();
+}
+
+// ------------------------------------------------------------ SeverityCube
+
+SeverityCube::SeverityCube(std::size_t nlocs)
+    : nlocs_(nlocs), cells_(kPropertyCount) {}
+
+void SeverityCube::add(PropertyId p, NodeId n, trace::LocId loc, VDur d) {
+  if (d <= VDur::zero()) return;
+  auto& list = cells_[static_cast<std::size_t>(p)];
+  for (auto& cell : list) {
+    if (cell.node == n) {
+      cell.per_loc[static_cast<std::size_t>(loc)] += d;
+      return;
+    }
+  }
+  Cell cell;
+  cell.node = n;
+  cell.per_loc.assign(nlocs_, VDur::zero());
+  cell.per_loc[static_cast<std::size_t>(loc)] = d;
+  list.push_back(std::move(cell));
+}
+
+VDur SeverityCube::at(PropertyId p, NodeId n, trace::LocId loc) const {
+  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
+    if (cell.node == n) return cell.per_loc[static_cast<std::size_t>(loc)];
+  }
+  return VDur::zero();
+}
+
+VDur SeverityCube::node_total(PropertyId p, NodeId n) const {
+  VDur sum = VDur::zero();
+  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
+    if (cell.node == n) {
+      for (const auto& d : cell.per_loc) sum += d;
+    }
+  }
+  return sum;
+}
+
+VDur SeverityCube::total(PropertyId p) const {
+  VDur sum = VDur::zero();
+  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
+    for (const auto& d : cell.per_loc) sum += d;
+  }
+  return sum;
+}
+
+VDur SeverityCube::subtree_total(PropertyId p) const {
+  VDur sum = total(p);
+  for (PropertyId c : property_children(p)) sum += subtree_total(c);
+  return sum;
+}
+
+std::vector<NodeId> SeverityCube::nodes_of(PropertyId p) const {
+  std::vector<NodeId> out;
+  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
+    out.push_back(cell.node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VDur> SeverityCube::locations_of(PropertyId p, NodeId n) const {
+  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
+    if (cell.node == n) return cell.per_loc;
+  }
+  return std::vector<VDur>(nlocs_, VDur::zero());
+}
+
+// ----------------------------------------------------------- AnalysisResult
+
+std::optional<Finding> AnalysisResult::dominant(bool include_overhead) const {
+  for (const Finding& f : findings) {
+    if (!include_overhead && property_info(f.prop).is_overhead) continue;
+    return f;
+  }
+  return std::nullopt;
+}
+
+double AnalysisResult::severity_fraction(PropertyId p) const {
+  if (total_time <= VDur::zero()) return 0.0;
+  return cube.subtree_total(p) / total_time;
+}
+
+// ----------------------------------------------------------------- replay
+
+namespace {
+
+struct StackEntry {
+  NodeId node;
+  VTime enter;
+  trace::RegionId region;
+};
+
+struct SendRec {
+  VTime t;
+};
+
+/// A receive completion seen before its send record (possible at equal
+/// timestamps when the receiver's location id sorts first).
+struct OrphanRecv {
+  VTime t;
+  VTime recv_enter;
+  NodeId recv_node;
+  trace::LocId loc;
+};
+
+struct SendInterval {
+  VTime enter;   // send event time (after the send overhead)
+  VTime exit;    // region exit
+  NodeId node;
+  bool closed = false;
+};
+
+struct LrCandidate {
+  trace::LocId send_loc;
+  VTime send_t;
+  VTime recv_enter;
+};
+
+struct CollRec {
+  trace::LocId loc;
+  VTime enter;
+  VTime exit;
+  NodeId node;
+  trace::RegionKind encl_kind;
+  std::string encl_name;
+};
+
+/// True for kinds counted as "MPI time".
+bool is_mpi_kind(trace::RegionKind k) {
+  return k == trace::RegionKind::kMpiP2P ||
+         k == trace::RegionKind::kMpiColl ||
+         k == trace::RegionKind::kMpiOther;
+}
+
+bool is_omp_kind(trace::RegionKind k) {
+  return k == trace::RegionKind::kOmpParallel ||
+         k == trace::RegionKind::kOmpWork ||
+         k == trace::RegionKind::kOmpSync;
+}
+
+class Replay {
+ public:
+  Replay(const trace::Trace& trace, const AnalyzerOptions& options)
+      : trace_(trace),
+        options_(options),
+        nlocs_(trace.location_count()),
+        profile_(nlocs_),
+        cube_(nlocs_),
+        stacks_(nlocs_),
+        send_intervals_(nlocs_),
+        first_(nlocs_, VTime::max()),
+        last_(nlocs_, VTime::zero()),
+        seen_(nlocs_, false) {}
+
+  AnalysisResult run();
+
+ private:
+  NodeId current_node(trace::LocId loc) const {
+    const auto& st = stacks_[static_cast<std::size_t>(loc)];
+    return st.empty() ? kRootNode : st.back().node;
+  }
+
+  /// Wait-state severity attribution, honouring fault-injected pattern
+  /// deactivation (AnalyzerOptions::disabled_patterns).
+  void add_wait(PropertyId p, NodeId n, trace::LocId loc, VDur d) {
+    if (options_.is_disabled(p)) return;
+    cube_.add(p, n, loc, d);
+  }
+
+  void on_enter(const trace::Event& e);
+  void on_exit(const trace::Event& e);
+  void on_send(const trace::Event& e);
+  void on_recv(const trace::Event& e);
+  void on_coll_end(const trace::Event& e);
+  void on_lock_acquire(const trace::Event& e);
+  void finish_open_regions();
+  void late_receiver_pass();
+  void classify_structural();
+  void idle_threads_pass();
+  void rank_findings(AnalysisResult& result) const;
+  void process_coll_group(trace::CollOp op, std::int32_t root_loc,
+                          const std::vector<CollRec>& recs);
+
+  const trace::Trace& trace_;
+  AnalyzerOptions options_;
+  std::size_t nlocs_;
+  CallPathProfile profile_;
+  SeverityCube cube_;
+
+  std::vector<std::vector<StackEntry>> stacks_;
+  std::vector<std::vector<SendInterval>> send_intervals_;
+  std::vector<VTime> first_, last_;
+  std::vector<bool> seen_;
+
+  // message matching: (comm, src loc, dst loc, tag) -> FIFO of sends
+  std::map<std::tuple<int, int, int, int>, std::deque<SendRec>> sends_;
+  // receive completions still waiting for their send record (same key)
+  std::map<std::tuple<int, int, int, int>, std::deque<OrphanRecv>> orphans_;
+  // unmatched send times per (comm, dst loc), for wrong-order detection
+  std::map<std::pair<int, int>, std::multiset<std::int64_t>> pending_to_;
+  std::vector<LrCandidate> lr_candidates_;
+  // collective grouping: (comm, seq) -> records so far
+  std::map<std::pair<int, std::int64_t>, std::vector<CollRec>> colls_;
+
+  VDur total_time_ = VDur::zero();
+};
+
+void Replay::on_enter(const trace::Event& e) {
+  auto& st = stacks_[static_cast<std::size_t>(e.loc)];
+  const NodeId n = profile_.child(current_node(e.loc), e.region);
+  profile_.add_visit(n, e.loc);
+  st.push_back({n, e.t, e.region});
+}
+
+void Replay::on_exit(const trace::Event& e) {
+  auto& st = stacks_[static_cast<std::size_t>(e.loc)];
+  if (st.empty() || st.back().region != e.region) {
+    throw TraceError("analyzer: unbalanced exit of region '" +
+                     trace_.regions().info(e.region).name + "' on location " +
+                     std::to_string(e.loc));
+  }
+  const StackEntry top = st.back();
+  st.pop_back();
+  profile_.add_inclusive(top.node, e.loc, e.t - top.enter);
+  // Close a pending send interval of this region, for late-receiver.
+  const trace::RegionInfo& info = trace_.regions().info(e.region);
+  if (info.kind == trace::RegionKind::kMpiP2P &&
+      (info.name == "MPI_Send" || info.name == "MPI_Ssend")) {
+    auto& ivs = send_intervals_[static_cast<std::size_t>(e.loc)];
+    for (auto it = ivs.rbegin(); it != ivs.rend(); ++it) {
+      if (!it->closed && it->node == top.node) {
+        it->exit = e.t;
+        it->closed = true;
+        break;
+      }
+    }
+  }
+}
+
+void Replay::on_send(const trace::Event& e) {
+  const auto key = std::make_tuple(e.comm, e.loc, e.peer, e.tag);
+  auto oit = orphans_.find(key);
+  if (oit != orphans_.end() && !oit->second.empty()) {
+    // A receive completion (equal timestamp, lower location id) was seen
+    // first; complete the pair now.  The message never waited unmatched, so
+    // no wrong-order bookkeeping applies.
+    const OrphanRecv orphan = oit->second.front();
+    oit->second.pop_front();
+    const VDur wait =
+        non_negative(earlier(e.t, orphan.t) - orphan.recv_enter);
+    if (wait > VDur::zero()) {
+      add_wait(PropertyId::kLateSender, orphan.recv_node, orphan.loc, wait);
+    }
+    // No late-receiver candidate: the receiver completed no later than the
+    // send record, so it cannot have posted late.
+    return;
+  }
+  sends_[key].push_back(SendRec{e.t});
+  pending_to_[{e.comm, e.peer}].insert(e.t.ns());
+  // Remember the enclosing blocking-send interval (exit filled on region
+  // exit); used by the late-receiver post-pass.
+  const auto& st = stacks_[static_cast<std::size_t>(e.loc)];
+  if (!st.empty()) {
+    const trace::RegionInfo& info = trace_.regions().info(st.back().region);
+    if (info.name == "MPI_Send" || info.name == "MPI_Ssend") {
+      send_intervals_[static_cast<std::size_t>(e.loc)].push_back(
+          SendInterval{e.t, e.t, st.back().node, false});
+    }
+  }
+}
+
+void Replay::on_recv(const trace::Event& e) {
+  const auto key = std::make_tuple(e.comm, e.peer, e.loc, e.tag);
+
+  // The innermost enclosing P2P region is the waiting receive operation
+  // (MPI_Recv, MPI_Wait, ...); resolve it first so an orphaned completion
+  // can be parked with its context.
+  const auto& stk = stacks_[static_cast<std::size_t>(e.loc)];
+  NodeId recv_node = kRootNode;
+  VTime recv_enter = e.t;
+  bool in_p2p = false;
+  for (auto rit = stk.rbegin(); rit != stk.rend(); ++rit) {
+    if (trace_.regions().info(rit->region).kind ==
+        trace::RegionKind::kMpiP2P) {
+      recv_node = rit->node;
+      recv_enter = rit->enter;
+      in_p2p = true;
+      break;
+    }
+  }
+
+  auto it = sends_.find(key);
+  if (it == sends_.end() || it->second.empty()) {
+    // The send record has an equal timestamp but a higher location id and
+    // has not been replayed yet; park the completion.
+    if (in_p2p) {
+      orphans_[key].push_back(OrphanRecv{e.t, recv_enter, recv_node, e.loc});
+    }
+    return;
+  }
+  const VTime send_t = it->second.front().t;
+  it->second.pop_front();
+  // This message is consumed: drop it from the pending set.
+  auto& pend = pending_to_[{e.comm, e.loc}];
+  const auto pit = pend.find(send_t.ns());
+  if (pit != pend.end()) pend.erase(pit);
+
+  if (!in_p2p) return;  // recv completion outside any P2P region: skip
+
+  const VDur wait = non_negative(earlier(send_t, e.t) - recv_enter);
+  if (wait > VDur::zero()) {
+    // Wrong order: another message for us was already under way before the
+    // one we insisted on receiving was even sent.
+    bool wrong_order = false;
+    for (const std::int64_t t : pend) {
+      if (t < send_t.ns()) {
+        wrong_order = true;
+        break;
+      }
+    }
+    add_wait(wrong_order ? PropertyId::kLateSenderWrongOrder
+                         : PropertyId::kLateSender,
+             recv_node, e.loc, wait);
+  }
+  lr_candidates_.push_back(LrCandidate{e.peer, send_t, recv_enter});
+}
+
+void Replay::on_coll_end(const trace::Event& e) {
+  const auto& st = stacks_[static_cast<std::size_t>(e.loc)];
+  CollRec rec;
+  rec.loc = e.loc;
+  rec.enter = e.enter_t;
+  rec.exit = e.t;
+  if (!st.empty()) {
+    rec.node = st.back().node;
+    const trace::RegionInfo& info = trace_.regions().info(st.back().region);
+    rec.encl_kind = info.kind;
+    rec.encl_name = info.name;
+  } else {
+    rec.node = kRootNode;
+    rec.encl_kind = trace::RegionKind::kUser;
+  }
+  auto& group = colls_[{e.comm, e.seq}];
+  group.push_back(std::move(rec));
+  const std::size_t expected = trace_.comm(e.comm).members.size();
+  if (group.size() == expected) {
+    process_coll_group(e.op, e.root, group);
+    colls_.erase({e.comm, e.seq});
+  }
+}
+
+void Replay::process_coll_group(trace::CollOp op, std::int32_t root_loc,
+                                const std::vector<CollRec>& recs) {
+  VTime max_enter = VTime::zero();
+  VTime root_enter = VTime::zero();
+  for (const CollRec& r : recs) {
+    max_enter = later(max_enter, r.enter);
+    if (r.loc == root_loc) root_enter = r.enter;
+  }
+  for (const CollRec& r : recs) {
+    PropertyId prop;
+    VDur wait = VDur::zero();
+    if (r.encl_kind == trace::RegionKind::kMpiOther) {
+      // Waits inside MPI_Init / MPI_Finalize / comm management are already
+      // covered by the management-overhead region time; don't double-count
+      // them as user-level wait states.
+      continue;
+    } else if (op == trace::CollOp::kBarrier) {
+      prop = PropertyId::kWaitAtBarrier;
+      wait = non_negative(max_enter - r.enter);
+    } else if (op == trace::CollOp::kOmpBarrier) {
+      prop = PropertyId::kWaitAtOmpBarrier;
+      wait = non_negative(max_enter - r.enter);
+    } else if (op == trace::CollOp::kOmpIBarrier) {
+      if (starts_with(r.encl_name, "omp for")) {
+        prop = PropertyId::kImbalanceInOmpLoop;
+      } else if (starts_with(r.encl_name, "omp sections")) {
+        prop = PropertyId::kImbalanceInOmpSections;
+      } else if (starts_with(r.encl_name, "omp single")) {
+        prop = PropertyId::kImbalanceInOmpSingle;
+      } else {
+        prop = PropertyId::kImbalanceInParallelRegion;
+      }
+      wait = non_negative(max_enter - r.enter);
+    } else if (trace::is_root_source(op)) {
+      prop = (op == trace::CollOp::kBcast) ? PropertyId::kLateBroadcast
+                                           : PropertyId::kLateScatter;
+      if (r.loc != root_loc) wait = non_negative(root_enter - r.enter);
+    } else if (trace::is_root_sink(op)) {
+      prop = (op == trace::CollOp::kReduce) ? PropertyId::kEarlyReduce
+                                            : PropertyId::kEarlyGather;
+      if (r.loc == root_loc) wait = non_negative(max_enter - r.enter);
+    } else {
+      prop = PropertyId::kWaitAtNxN;
+      wait = non_negative(max_enter - r.enter);
+    }
+    add_wait(prop, r.node, r.loc, wait);
+  }
+}
+
+void Replay::on_lock_acquire(const trace::Event& e) {
+  const auto& st = stacks_[static_cast<std::size_t>(e.loc)];
+  if (st.empty()) return;
+  const StackEntry& top = st.back();
+  if (trace_.regions().info(top.region).kind != trace::RegionKind::kOmpSync) {
+    return;
+  }
+  add_wait(PropertyId::kOmpLockContention, top.node, e.loc,
+           non_negative(e.t - top.enter));
+}
+
+void Replay::finish_open_regions() {
+  for (std::size_t loc = 0; loc < nlocs_; ++loc) {
+    auto& st = stacks_[loc];
+    while (!st.empty()) {
+      profile_.add_inclusive(st.back().node, static_cast<trace::LocId>(loc),
+                             last_[loc] - st.back().enter);
+      st.pop_back();
+    }
+  }
+}
+
+void Replay::late_receiver_pass() {
+  // Sort intervals per location by send-event time for binary search.
+  for (auto& ivs : send_intervals_) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const SendInterval& a, const SendInterval& b) {
+                return a.enter < b.enter;
+              });
+  }
+  for (const LrCandidate& c : lr_candidates_) {
+    const auto& ivs = send_intervals_[static_cast<std::size_t>(c.send_loc)];
+    // Find the interval whose send event is exactly c.send_t.
+    auto it = std::lower_bound(
+        ivs.begin(), ivs.end(), c.send_t,
+        [](const SendInterval& iv, VTime t) { return iv.enter < t; });
+    if (it == ivs.end() || it->enter != c.send_t || !it->closed) continue;
+    if (c.recv_enter <= c.send_t) continue;  // the receiver was on time
+    const VDur wait = earlier(c.recv_enter, it->exit) - c.send_t;
+    if (wait > VDur::zero()) {
+      add_wait(PropertyId::kLateReceiver, it->node, c.send_loc, wait);
+    }
+  }
+}
+
+void Replay::classify_structural() {
+  // Per-location totals.
+  for (std::size_t loc = 0; loc < nlocs_; ++loc) {
+    if (!seen_[loc]) continue;
+    const VDur span = last_[loc] - first_[loc];
+    cube_.add(PropertyId::kTotal, kRootNode, static_cast<trace::LocId>(loc),
+              span);
+    total_time_ += span;
+  }
+  // Time-class properties from the profile: attribute the inclusive time of
+  // every class-topmost node (a node of the class whose parent is not of
+  // the same class).
+  profile_.preorder([&](NodeId n, int) {
+    if (n == kRootNode) return;
+    const CpNode& nd = profile_.node(n);
+    const trace::RegionKind kind = trace_.regions().info(nd.region).kind;
+    const CpNode& parent = nd.parent == kRootNode
+                               ? profile_.node(kRootNode)
+                               : profile_.node(nd.parent);
+    const trace::RegionKind pkind =
+        parent.region == trace::kNone
+            ? trace::RegionKind::kUser
+            : trace_.regions().info(parent.region).kind;
+
+    auto add_all_locs = [&](PropertyId p) {
+      for (std::size_t loc = 0; loc < nlocs_; ++loc) {
+        cube_.add(p, n, static_cast<trace::LocId>(loc),
+                  profile_.inclusive(n, static_cast<trace::LocId>(loc)));
+      }
+    };
+
+    if (is_mpi_kind(kind) && !is_mpi_kind(pkind)) {
+      add_all_locs(PropertyId::kMpi);
+    }
+    if (is_omp_kind(kind) && !is_omp_kind(pkind)) {
+      add_all_locs(PropertyId::kOmp);
+    }
+    switch (kind) {
+      case trace::RegionKind::kMpiP2P:
+        if (pkind != trace::RegionKind::kMpiP2P) {
+          add_all_locs(PropertyId::kMpiP2P);
+        }
+        break;
+      case trace::RegionKind::kMpiColl:
+        add_all_locs(PropertyId::kMpiCollective);
+        break;
+      case trace::RegionKind::kMpiOther: {
+        add_all_locs(PropertyId::kMpiMgmt);
+        const std::string& name = trace_.regions().info(nd.region).name;
+        if (name == "MPI_Init" || name == "MPI_Finalize") {
+          add_all_locs(PropertyId::kInitFinalizeOverhead);
+        }
+        break;
+      }
+      case trace::RegionKind::kOmpSync:
+        if (pkind != trace::RegionKind::kOmpSync) {
+          add_all_locs(PropertyId::kOmpSync);
+        }
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+void Replay::idle_threads_pass() {
+  // EXPERT's "Idle Threads": while the master of an OpenMP-capable process
+  // computes serially outside parallel regions, the CPUs reserved for its
+  // workers are idle.  Severity = serial non-MPI time x (max team size - 1)
+  // per master location.  MPI time is excluded: during communication the
+  // master is not "computing serially" in the EXPERT sense relevant here,
+  // and those waits are already attributed to MPI wait states.
+  std::map<trace::LocId, int> max_team;
+  for (std::size_t c = 0; c < trace_.comm_count(); ++c) {
+    const trace::CommInfo& info =
+        trace_.comm(static_cast<trace::CommId>(c));
+    if (info.kind != trace::CommKind::kOmpTeam || info.members.empty()) {
+      continue;
+    }
+    int& n = max_team[info.members.front()];
+    n = std::max(n, static_cast<int>(info.members.size()));
+  }
+  for (const auto& [loc, n] : max_team) {
+    if (n <= 1 || !seen_[static_cast<std::size_t>(loc)]) continue;
+    const VDur span = last_[static_cast<std::size_t>(loc)] -
+                      first_[static_cast<std::size_t>(loc)];
+    VDur parallel_time = VDur::zero();
+    VDur mpi_time = VDur::zero();
+    profile_.preorder([&](NodeId node, int) {
+      if (node == kRootNode) return;
+      const CpNode& nd = profile_.node(node);
+      const trace::RegionKind kind = trace_.regions().info(nd.region).kind;
+      const CpNode& parent = profile_.node(nd.parent);
+      const trace::RegionKind pkind =
+          parent.region == trace::kNone
+              ? trace::RegionKind::kUser
+              : trace_.regions().info(parent.region).kind;
+      if (is_omp_kind(kind) && !is_omp_kind(pkind)) {
+        parallel_time += profile_.inclusive(node, loc);
+      }
+      if (is_mpi_kind(kind) && !is_mpi_kind(pkind) &&
+          !is_omp_kind(pkind)) {
+        mpi_time += profile_.inclusive(node, loc);
+      }
+    });
+    const VDur serial = non_negative(span - parallel_time - mpi_time);
+    if (serial > VDur::zero()) {
+      add_wait(PropertyId::kOmpIdleThreads, kRootNode, loc,
+               serial * static_cast<std::int64_t>(n - 1));
+    }
+  }
+}
+
+void Replay::rank_findings(AnalysisResult& result) const {
+  const SeverityCube& cube = result.cube;
+  for (PropertyId p : property_preorder()) {
+    const PropertyInfo& info = property_info(p);
+    if (!info.is_waitstate) continue;
+    const VDur sev = cube.total(p);
+    if (sev <= VDur::zero() || result.total_time <= VDur::zero()) continue;
+    const double fraction = sev / result.total_time;
+    if (fraction < options_.threshold) continue;
+    Finding f;
+    f.prop = p;
+    f.severity = sev;
+    f.fraction = fraction;
+    // Node carrying the largest share.
+    VDur best = VDur::zero();
+    for (NodeId n : cube.nodes_of(p)) {
+      const VDur nt = cube.node_total(p, n);
+      if (nt > best) {
+        best = nt;
+        f.node = n;
+      }
+    }
+    result.findings.push_back(f);
+  }
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.severity > b.severity;
+                   });
+}
+
+AnalysisResult Replay::run() {
+  for (const trace::Event* e : trace_.merged()) {
+    const std::size_t loc = static_cast<std::size_t>(e->loc);
+    first_[loc] = earlier(first_[loc], e->t);
+    last_[loc] = later(last_[loc], e->t);
+    seen_[loc] = true;
+    switch (e->type) {
+      case trace::EventType::kEnter: on_enter(*e); break;
+      case trace::EventType::kExit: on_exit(*e); break;
+      case trace::EventType::kSend: on_send(*e); break;
+      case trace::EventType::kRecv: on_recv(*e); break;
+      case trace::EventType::kCollEnd: on_coll_end(*e); break;
+      case trace::EventType::kLockAcquire: on_lock_acquire(*e); break;
+      case trace::EventType::kLockRelease: break;
+    }
+  }
+  finish_open_regions();
+  late_receiver_pass();
+  classify_structural();
+  idle_threads_pass();
+
+  AnalysisResult result{std::move(profile_), std::move(cube_), total_time_,
+                        {}};
+  rank_findings(result);
+  return result;
+}
+
+}  // namespace
+
+AnalysisResult analyze(const trace::Trace& trace, AnalyzerOptions options) {
+  Replay replay(trace, options);
+  return replay.run();
+}
+
+}  // namespace ats::analyze

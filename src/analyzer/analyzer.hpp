@@ -1,0 +1,95 @@
+// The automatic performance analyzer (the "tool under test").
+//
+// Reimplements the trace-analysis pipeline of tools like EXPERT: a single
+// time-ordered replay of the trace builds a call-path profile, reconstructs
+// message matching, groups collective instances, and quantifies wait-state
+// patterns into a severity cube (property × call path × location).  The
+// analyzer sees only trace events — none of the simulator's internal wait
+// bookkeeping — so ATS property tests genuinely exercise the detection
+// logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analyzer/profile.hpp"
+#include "analyzer/property.hpp"
+#include "common/vtime.hpp"
+#include "trace/trace.hpp"
+
+namespace ats::analyze {
+
+/// Severity cube: property × call-path node × location -> accumulated time.
+class SeverityCube {
+ public:
+  SeverityCube(std::size_t nlocs);
+
+  void add(PropertyId p, NodeId n, trace::LocId loc, VDur d);
+
+  VDur at(PropertyId p, NodeId n, trace::LocId loc) const;
+  /// Sum over locations for one (property, node).
+  VDur node_total(PropertyId p, NodeId n) const;
+  /// Sum over nodes and locations for one property (without descendants).
+  VDur total(PropertyId p) const;
+  /// total() plus all descendant properties.
+  VDur subtree_total(PropertyId p) const;
+  /// Nodes with non-zero severity for `p`, in node order.
+  std::vector<NodeId> nodes_of(PropertyId p) const;
+  /// Per-location severities for (property, node).
+  std::vector<VDur> locations_of(PropertyId p, NodeId n) const;
+
+  std::size_t location_count() const { return nlocs_; }
+
+ private:
+  struct Cell {
+    NodeId node;
+    std::vector<VDur> per_loc;
+  };
+  std::size_t nlocs_;
+  // One sparse (node -> per-loc) list per property.
+  std::vector<std::vector<Cell>> cells_;
+};
+
+/// One ranked result: a leaf wait-state with its total severity.
+struct Finding {
+  PropertyId prop = PropertyId::kTotal;
+  /// Call-path node carrying the largest share of the severity.
+  NodeId node = kRootNode;
+  VDur severity;
+  /// Fraction of total execution time.
+  double fraction = 0.0;
+};
+
+struct AnalyzerOptions {
+  /// Leaf properties below this fraction of total time are not reported.
+  double threshold = 0.005;
+  /// Fault injection for tool testing: wait-state patterns in this list are
+  /// silently skipped, emulating a defective analyzer.  The ATS detection
+  /// matrix must then report the corresponding property functions as
+  /// MISSED — demonstrating that the suite catches broken tools (the
+  /// paper's core motivation).
+  std::vector<PropertyId> disabled_patterns;
+
+  bool is_disabled(PropertyId p) const;
+};
+
+struct AnalysisResult {
+  CallPathProfile profile;
+  SeverityCube cube;
+  /// Sum over locations of (last event - first event).
+  VDur total_time;
+  /// Ranked findings (desc. severity), leaves above threshold only.
+  std::vector<Finding> findings;
+
+  /// Highest-severity wait state; by default ignores overhead-class
+  /// properties (init/finalize) so the injected property dominates.
+  std::optional<Finding> dominant(bool include_overhead = false) const;
+  /// Severity fraction of one property (subtree), relative to total time.
+  double severity_fraction(PropertyId p) const;
+};
+
+/// Runs the full analysis over a trace.
+AnalysisResult analyze(const trace::Trace& trace, AnalyzerOptions options = {});
+
+}  // namespace ats::analyze

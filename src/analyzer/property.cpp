@@ -1,0 +1,126 @@
+#include "analyzer/property.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace ats::analyze {
+
+namespace {
+
+using P = PropertyId;
+
+constexpr std::array<PropertyInfo, kPropertyCount> kProps{{
+    {P::kTotal, P::kTotal, "time",
+     "total execution time over all locations", false, false},
+    {P::kMpi, P::kTotal, "mpi", "time spent inside MPI operations", false,
+     false},
+    {P::kMpiP2P, P::kMpi, "point-to-point",
+     "time in MPI point-to-point operations", false, false},
+    {P::kLateSender, P::kMpiP2P, "late sender",
+     "receiver blocked because the matching send started late", true,
+     false},
+    {P::kLateSenderWrongOrder, P::kLateSender, "messages in wrong order",
+     "late sender while an earlier message was already available", true,
+     false},
+    {P::kLateReceiver, P::kMpiP2P, "late receiver",
+     "sender blocked (rendezvous) because the receiver posted late", true,
+     false},
+    {P::kMpiCollective, P::kMpi, "collective",
+     "time in MPI collective operations", false, false},
+    {P::kWaitAtBarrier, P::kMpiCollective, "wait at barrier",
+     "early ranks waiting in MPI_Barrier for the last one", true, false},
+    {P::kWaitAtNxN, P::kMpiCollective, "wait at NxN",
+     "early ranks waiting in an all-to-all style collective", true, false},
+    {P::kLateBroadcast, P::kMpiCollective, "late broadcast",
+     "non-root ranks waiting in MPI_Bcast for a late root", true, false},
+    {P::kLateScatter, P::kMpiCollective, "late scatter",
+     "non-root ranks waiting in MPI_Scatter(v) for a late root", true,
+     false},
+    {P::kEarlyReduce, P::kMpiCollective, "early reduce",
+     "the root entered MPI_Reduce early and waits for contributions", true,
+     false},
+    {P::kEarlyGather, P::kMpiCollective, "early gather",
+     "the root entered MPI_Gather(v) early and waits for contributions",
+     true, false},
+    {P::kMpiMgmt, P::kMpi, "management",
+     "MPI_Init / MPI_Finalize / communicator management", false, true},
+    {P::kInitFinalizeOverhead, P::kMpiMgmt, "init/finalize overhead",
+     "time spent inside MPI_Init and MPI_Finalize", true, true},
+    {P::kOmp, P::kTotal, "omp", "time inside OpenMP constructs", false,
+     false},
+    {P::kOmpSync, P::kOmp, "synchronization",
+     "time in explicit OpenMP synchronisation", false, false},
+    {P::kWaitAtOmpBarrier, P::kOmpSync, "wait at omp barrier",
+     "threads waiting at an explicit OpenMP barrier", true, false},
+    {P::kOmpLockContention, P::kOmpSync, "lock contention",
+     "threads waiting to acquire a critical section or lock", true, false},
+    {P::kOmpImbalance, P::kOmp, "imbalance",
+     "threads waiting at implicit barriers of OpenMP constructs", false,
+     false},
+    {P::kImbalanceInParallelRegion, P::kOmpImbalance,
+     "imbalance in parallel region",
+     "unequal work inside a parallel region (implicit barrier wait)", true,
+     false},
+    {P::kImbalanceInOmpLoop, P::kOmpImbalance, "imbalance in omp loop",
+     "unequal iterations in a worksharing loop", true, false},
+    {P::kImbalanceInOmpSections, P::kOmpImbalance,
+     "imbalance in omp sections", "unequal sections in a sections construct",
+     true, false},
+    {P::kImbalanceInOmpSingle, P::kOmpImbalance, "imbalance in omp single",
+     "team waiting while one thread executes a single construct", true,
+     false},
+    {P::kOmpIdleThreads, P::kOmp, "idle threads",
+     "reserved worker CPUs idle while the master computes serially outside "
+     "parallel regions",
+     true, false},
+}};
+
+}  // namespace
+
+const PropertyInfo& property_info(PropertyId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  require(idx < kPropertyCount, "property_info: bad id");
+  const PropertyInfo& info = kProps[idx];
+  require(info.id == id, "property table out of order");
+  return info;
+}
+
+const char* property_name(PropertyId id) { return property_info(id).name; }
+
+std::vector<PropertyId> property_children(PropertyId id) {
+  std::vector<PropertyId> out;
+  for (const auto& p : kProps) {
+    if (p.parent == id && p.id != id) out.push_back(p.id);
+  }
+  return out;
+}
+
+namespace {
+
+void preorder_visit(PropertyId id, std::vector<PropertyId>& out) {
+  out.push_back(id);
+  for (PropertyId c : property_children(id)) preorder_visit(c, out);
+}
+
+}  // namespace
+
+const std::vector<PropertyId>& property_preorder() {
+  static const std::vector<PropertyId> order = [] {
+    std::vector<PropertyId> out;
+    preorder_visit(PropertyId::kTotal, out);
+    return out;
+  }();
+  return order;
+}
+
+int property_depth(PropertyId id) {
+  int d = 0;
+  while (id != PropertyId::kTotal) {
+    id = property_info(id).parent;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace ats::analyze

@@ -1,0 +1,72 @@
+// The analyzer's performance-property hierarchy.
+//
+// Modeled on the ASL catalog / EXPERT's property tree: a root "total time"
+// property, structural children (MPI / OpenMP time classes) and leaf wait
+// states (late sender, wait at barrier, ...).  Every property in this file
+// is something an *analysis tool* reports — the property *functions* in
+// src/core inject the corresponding runtime behaviour, and the detection
+// matrix bench checks that each maps to the right entry here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ats::analyze {
+
+enum class PropertyId : std::uint8_t {
+  kTotal,
+  // --- MPI ---------------------------------------------------------------
+  kMpi,
+  kMpiP2P,
+  kLateSender,
+  kLateSenderWrongOrder,  // child of kLateSender
+  kLateReceiver,
+  kMpiCollective,
+  kWaitAtBarrier,
+  kWaitAtNxN,
+  kLateBroadcast,
+  kLateScatter,
+  kEarlyReduce,
+  kEarlyGather,
+  kMpiMgmt,
+  kInitFinalizeOverhead,
+  // --- OpenMP -------------------------------------------------------------
+  kOmp,
+  kOmpSync,
+  kWaitAtOmpBarrier,
+  kOmpLockContention,
+  kOmpImbalance,
+  kImbalanceInParallelRegion,
+  kImbalanceInOmpLoop,
+  kImbalanceInOmpSections,
+  kImbalanceInOmpSingle,
+  kOmpIdleThreads,
+  kCount_,  // sentinel
+};
+
+inline constexpr std::size_t kPropertyCount =
+    static_cast<std::size_t>(PropertyId::kCount_);
+
+struct PropertyInfo {
+  PropertyId id;
+  PropertyId parent;  ///< kTotal is its own parent (tree root)
+  const char* name;
+  const char* description;
+  /// Leaf wait-state: participates in finding ranking.
+  bool is_waitstate;
+  /// Overhead-class property (init/finalize): excluded from "dominant
+  /// property" queries unless explicitly requested.
+  bool is_overhead;
+};
+
+const PropertyInfo& property_info(PropertyId id);
+const char* property_name(PropertyId id);
+/// Children of `id` in declaration order.
+std::vector<PropertyId> property_children(PropertyId id);
+/// All properties in tree pre-order.
+const std::vector<PropertyId>& property_preorder();
+/// Depth of `id` in the tree (kTotal = 0).
+int property_depth(PropertyId id);
+
+}  // namespace ats::analyze

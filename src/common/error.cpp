@@ -1,0 +1,9 @@
+#include "common/error.hpp"
+
+namespace ats {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw UsageError(what);
+}
+
+}  // namespace ats

@@ -1,0 +1,49 @@
+// Deterministic, lock-free pseudo random number generation.
+//
+// Section 3.1.1 of the ATS report describes how the original prototype's use
+// of the thread-safe libc rand() implicitly serialised the parallel work
+// functions, and how ATS therefore ships its own simple lock-free parallel
+// generator.  This module is that generator: each simulated location owns an
+// independent stream derived from a global seed and the location id, so runs
+// are reproducible regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace ats {
+
+/// SplitMix64 — used to derive well-separated per-stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — small, fast, lock-free; one instance per location/stream.
+class Rng {
+ public:
+  /// Seeds stream `stream` of the generator family identified by `seed`.
+  explicit Rng(std::uint64_t seed = 0x415453u /* "ATS" */,
+               std::uint64_t stream = 0);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform in [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ats

@@ -1,0 +1,29 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace ats {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::imbalance() const {
+  if (n_ == 0 || mean_ == 0.0) return 1.0;
+  return max_ / mean_;
+}
+
+}  // namespace ats

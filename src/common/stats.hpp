@@ -1,0 +1,34 @@
+// Streaming summary statistics, used by the report layer and the benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace ats {
+
+/// Welford-style running summary: count, min, max, mean, variance, sum.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Population variance; zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// max/mean load-imbalance factor; one for empty or zero-mean data.
+  double imbalance() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ats

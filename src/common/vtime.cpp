@@ -1,0 +1,50 @@
+#include "common/vtime.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ats {
+
+VDur VDur::seconds(double s) {
+  if (!std::isfinite(s)) {
+    throw std::invalid_argument("VDur::seconds: non-finite value");
+  }
+  return VDur(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+VDur VDur::operator*(double f) const {
+  return VDur(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(ns_) * f)));
+}
+
+double VDur::operator/(VDur o) const {
+  if (o.ns_ == 0) {
+    throw std::invalid_argument("VDur::operator/: division by zero duration");
+  }
+  return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+}
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(ns));
+  if (a < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
+  } else if (a < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", static_cast<double>(ns) / 1e3);
+  } else if (a < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string VDur::str() const { return format_ns(ns_); }
+std::string VTime::str() const { return format_ns(ns_); }
+
+}  // namespace ats

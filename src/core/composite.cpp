@@ -1,0 +1,103 @@
+#include "core/composite.hpp"
+
+namespace ats::core {
+
+std::vector<std::string> run_all_mpi_properties(
+    PropCtx& ctx, const CompositeParams& params, mpi::Comm& comm) {
+  const double base = params.basework;
+  const double extra = params.extrawork;
+  const int r = params.repeats;
+  const Distribution linear = Distribution::linear(base, base + extra);
+
+  std::vector<std::string> order;
+  auto step = [&](const char* name, const std::function<void()>& fn) {
+    order.emplace_back(name);
+    fn();
+  };
+
+  step("late_sender", [&] { late_sender(ctx, base, extra, r, comm); });
+  step("late_receiver", [&] { late_receiver(ctx, base, extra, r, comm); });
+  step("late_sender_wrong_order",
+       [&] { late_sender_wrong_order(ctx, base, extra, r, comm); });
+  step("imbalance_at_mpi_barrier",
+       [&] { imbalance_at_mpi_barrier(ctx, linear, r, comm); });
+  step("imbalance_at_mpi_alltoall",
+       [&] { imbalance_at_mpi_alltoall(ctx, linear, r, comm); });
+  step("imbalance_at_mpi_allreduce",
+       [&] { imbalance_at_mpi_allreduce(ctx, linear, r, comm); });
+  step("imbalance_at_mpi_allgather",
+       [&] { imbalance_at_mpi_allgather(ctx, linear, r, comm); });
+  step("imbalance_at_mpi_scan",
+       [&] { imbalance_at_mpi_scan(ctx, linear, r, comm); });
+  step("imbalance_at_mpi_reduce_scatter",
+       [&] { imbalance_at_mpi_reduce_scatter(ctx, linear, r, comm); });
+  step("late_broadcast", [&] { late_broadcast(ctx, base, extra, 0, r, comm); });
+  step("late_scatter", [&] { late_scatter(ctx, base, extra, 0, r, comm); });
+  step("late_scatterv", [&] { late_scatterv(ctx, base, extra, 0, r, comm); });
+  step("early_reduce", [&] { early_reduce(ctx, base, extra, 0, r, comm); });
+  step("early_gather", [&] { early_gather(ctx, base, extra, 0, r, comm); });
+  step("early_gatherv", [&] { early_gatherv(ctx, base, extra, 0, r, comm); });
+  return order;
+}
+
+void run_split_communicator_program(PropCtx& ctx,
+                                    const CompositeParams& params) {
+  mpi::Proc& p = ctx.mpi_proc();
+  mpi::Comm& world = p.comm_world();
+  const int me = p.world_rank();
+  const int half = world.size() / 2;
+  require(world.size() >= 4,
+          "run_split_communicator_program: need at least 4 ranks");
+  const bool lower = me < half;
+  mpi::Comm* sub = p.split(world, lower ? 0 : 1, me);
+  require(sub != nullptr, "split returned no communicator");
+
+  const double base = params.basework;
+  const double extra = params.extrawork;
+  const int r = params.repeats;
+  const Distribution linear = Distribution::linear(base, base + extra);
+
+  if (lower) {
+    late_sender(ctx, base, extra, r, *sub);
+    imbalance_at_mpi_barrier(ctx, linear, r, *sub);
+    early_reduce(ctx, base, extra, /*root=*/0, r, *sub);
+  } else {
+    // Paper Fig. 3.5: late_broadcast on the upper communicator with local
+    // root rank 1 (global rank half+1).
+    late_broadcast(ctx, base, extra, /*root=*/1, r, *sub);
+    imbalance_at_mpi_alltoall(ctx, linear, r, *sub);
+    late_receiver(ctx, base, extra, r, *sub);
+  }
+  p.barrier(world);
+}
+
+std::vector<std::string> run_all_omp_properties(
+    PropCtx& ctx, const CompositeParams& params, int nthreads) {
+  const double base = params.basework;
+  const double extra = params.extrawork;
+  const int r = params.repeats;
+  const Distribution linear = Distribution::linear(base, base + extra);
+
+  std::vector<std::string> order;
+  auto step = [&](const char* name, const std::function<void()>& fn) {
+    order.emplace_back(name);
+    fn();
+  };
+  step("imbalance_in_omp_pregion",
+       [&] { imbalance_in_omp_pregion(ctx, linear, r, nthreads); });
+  step("imbalance_at_omp_barrier",
+       [&] { imbalance_at_omp_barrier(ctx, linear, r, nthreads); });
+  step("imbalance_in_omp_loop",
+       [&] { imbalance_in_omp_loop(ctx, linear, r, nthreads); });
+  step("imbalance_in_omp_sections",
+       [&] { imbalance_in_omp_sections(ctx, linear, r, nthreads); });
+  step("omp_lock_contention",
+       [&] { omp_lock_contention(ctx, extra, r, nthreads); });
+  step("serialization_in_omp_single",
+       [&] { serialization_in_omp_single(ctx, extra, r, nthreads); });
+  step("omp_idle_threads",
+       [&] { omp_idle_threads(ctx, extra, base, r, nthreads); });
+  return order;
+}
+
+}  // namespace ats::core

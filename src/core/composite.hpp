@@ -1,0 +1,43 @@
+// Composite test programs (paper §3.3).
+//
+// Beyond single-property programs, ATS composes property functions into
+// larger tests: a sequence of all MPI properties (Fig. 3.3), and a
+// split-communicator program where the lower and upper halves of
+// MPI_COMM_WORLD run different property sets concurrently (Figs. 3.4/3.5).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/properties.hpp"
+
+namespace ats::core {
+
+/// Parameters shared by the composite programs.
+struct CompositeParams {
+  double basework = 0.01;   ///< seconds of base computation per phase
+  double extrawork = 0.02;  ///< seconds of injected imbalance
+  int repeats = 2;          ///< repetition factor per property
+};
+
+/// Runs every MPI property function once, in catalog order, on `comm`
+/// (the Fig. 3.3 program).  Returns the names in execution order.
+std::vector<std::string> run_all_mpi_properties(PropCtx& ctx,
+                                                const CompositeParams& params,
+                                                mpi::Comm& comm);
+
+/// The Fig. 3.4 / 3.5 program: splits `world` into lower and upper halves;
+/// the lower half runs {late_sender, imbalance_at_mpi_barrier, early_reduce}
+/// and the upper half runs {late_broadcast (root 1), imbalance_at_mpi_
+/// alltoall, late_receiver} concurrently.
+void run_split_communicator_program(PropCtx& ctx,
+                                    const CompositeParams& params);
+
+/// Runs every OpenMP property function once (hybrid composite building
+/// block).  `nthreads` is the team size.
+std::vector<std::string> run_all_omp_properties(PropCtx& ctx,
+                                                const CompositeParams& params,
+                                                int nthreads);
+
+}  // namespace ats::core

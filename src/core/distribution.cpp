@@ -1,0 +1,180 @@
+#include "core/distribution.hpp"
+
+#include <array>
+
+#include "common/rng.hpp"
+
+namespace ats::core {
+
+namespace {
+
+void check_group(int me, int sz, const char* fn) {
+  if (sz < 1) throw UsageError(std::string(fn) + ": group size must be >= 1");
+  if (me < 0 || me >= sz) {
+    throw UsageError(std::string(fn) + ": rank " + std::to_string(me) +
+                     " out of range for group of " + std::to_string(sz));
+  }
+}
+
+template <typename T>
+const T& as(const DistrDesc& dd, const char* fn) {
+  const T* v = std::get_if<T>(&dd);
+  if (v == nullptr) {
+    throw UsageError(std::string(fn) +
+                     ": distribution descriptor has the wrong type");
+  }
+  return *v;
+}
+
+}  // namespace
+
+double df_same(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_same");
+  return scale * as<Val1>(dd, "df_same").val;
+}
+
+double df_cyclic2(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_cyclic2");
+  const Val2& v = as<Val2>(dd, "df_cyclic2");
+  return scale * (me % 2 == 0 ? v.low : v.high);
+}
+
+double df_block2(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_block2");
+  const Val2& v = as<Val2>(dd, "df_block2");
+  return scale * (me < (sz + 1) / 2 ? v.low : v.high);
+}
+
+double df_linear(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_linear");
+  const Val2& v = as<Val2>(dd, "df_linear");
+  if (sz == 1) return scale * v.low;
+  const double frac = static_cast<double>(me) / static_cast<double>(sz - 1);
+  return scale * (v.low + (v.high - v.low) * frac);
+}
+
+double df_peak(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_peak");
+  const Val2N& v = as<Val2N>(dd, "df_peak");
+  return scale * (me == v.n ? v.high : v.low);
+}
+
+double df_cyclic3(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_cyclic3");
+  const Val3& v = as<Val3>(dd, "df_cyclic3");
+  switch (me % 3) {
+    case 0: return scale * v.low;
+    case 1: return scale * v.med;
+    default: return scale * v.high;
+  }
+}
+
+double df_block3(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_block3");
+  const Val3& v = as<Val3>(dd, "df_block3");
+  // Three blocks, sized like a balanced partition of sz into thirds.
+  const int third = (sz + 2) / 3;
+  if (me < third) return scale * v.low;
+  if (me < 2 * third) return scale * v.med;
+  return scale * v.high;
+}
+
+double df_random(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_random");
+  const Val2& v = as<Val2>(dd, "df_random");
+  // Hash the rank into [0,1) deterministically; no global state.
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(me) +
+                                             0x100000001b3ULL);
+  const double frac =
+      static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  return scale * (v.low + (v.high - v.low) * frac);
+}
+
+double df_custom(int me, int sz, double scale, const DistrDesc& dd) {
+  check_group(me, sz, "df_custom");
+  const ValTable& t = as<ValTable>(dd, "df_custom");
+  if (t.empty()) throw UsageError("df_custom: empty value table");
+  return scale * t[static_cast<std::size_t>(me) % t.size()];
+}
+
+double Distribution::operator()(int me, int sz, double scale) const {
+  return fn(me, sz, scale, desc);
+}
+
+Distribution Distribution::same(double val) {
+  return {&df_same, Val1{val}};
+}
+Distribution Distribution::cyclic2(double low, double high) {
+  return {&df_cyclic2, Val2{low, high}};
+}
+Distribution Distribution::block2(double low, double high) {
+  return {&df_block2, Val2{low, high}};
+}
+Distribution Distribution::linear(double low, double high) {
+  return {&df_linear, Val2{low, high}};
+}
+Distribution Distribution::peak(double low, double high, int n) {
+  return {&df_peak, Val2N{low, high, n}};
+}
+Distribution Distribution::cyclic3(double low, double med, double high) {
+  return {&df_cyclic3, Val3{low, high, med}};
+}
+Distribution Distribution::block3(double low, double med, double high) {
+  return {&df_block3, Val3{low, high, med}};
+}
+Distribution Distribution::random(double low, double high) {
+  return {&df_random, Val2{low, high}};
+}
+Distribution Distribution::custom(std::vector<double> table) {
+  return {&df_custom, std::move(table)};
+}
+
+namespace {
+struct NamedDf {
+  const char* name;
+  DistrFunc fn;
+};
+constexpr std::array<NamedDf, 9> kNamedDfs{{
+    {"same", &df_same},
+    {"cyclic2", &df_cyclic2},
+    {"block2", &df_block2},
+    {"linear", &df_linear},
+    {"peak", &df_peak},
+    {"cyclic3", &df_cyclic3},
+    {"block3", &df_block3},
+    {"random", &df_random},
+    {"custom", &df_custom},
+}};
+}  // namespace
+
+DistrFunc distr_func_by_name(const std::string& name) {
+  for (const auto& d : kNamedDfs) {
+    if (name == d.name) return d.fn;
+  }
+  throw UsageError("unknown distribution function: '" + name + "'");
+}
+
+std::string distr_func_name(DistrFunc fn) {
+  for (const auto& d : kNamedDfs) {
+    if (fn == d.fn) return d.name;
+  }
+  return "user-defined";
+}
+
+std::vector<std::string> distr_func_names() {
+  std::vector<std::string> out;
+  out.reserve(kNamedDfs.size());
+  for (const auto& d : kNamedDfs) out.emplace_back(d.name);
+  return out;
+}
+
+std::vector<double> distr_values(const Distribution& d, int sz,
+                                 double scale) {
+  std::vector<double> out(static_cast<std::size_t>(sz));
+  for (int r = 0; r < sz; ++r) {
+    out[static_cast<std::size_t>(r)] = d(r, sz, scale);
+  }
+  return out;
+}
+
+}  // namespace ats::core

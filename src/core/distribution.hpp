@@ -1,0 +1,110 @@
+// ATS distribution functions and descriptors (paper §3.1.2).
+//
+// A distribution maps (rank, group size, scale, descriptor) to a per-rank
+// value — the amount of work seconds, buffer elements, etc. that rank
+// receives.  The paper's seven predefined functions are implemented with
+// their original names; descriptors follow the val1/val2/val2_n/val3
+// structs.  Users may add their own functions with the same signature
+// (df_custom shows the mechanism), and the registry maps names to functions
+// for the test-program generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ats::core {
+
+/// One value for everyone (df_same).
+struct Val1 {
+  double val = 0.0;
+};
+
+/// Low/high pair (df_cyclic2, df_block2, df_linear, df_random).
+struct Val2 {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Low/high plus a rank index (df_peak).
+struct Val2N {
+  double low = 0.0;
+  double high = 0.0;
+  int n = 0;
+};
+
+/// Low/med/high triple (df_cyclic3, df_block3).
+struct Val3 {
+  double low = 0.0;
+  double high = 0.0;
+  double med = 0.0;
+};
+
+/// Arbitrary per-rank table, used modulo its size (df_custom).
+using ValTable = std::vector<double>;
+
+using DistrDesc = std::variant<Val1, Val2, Val2N, Val3, ValTable>;
+
+/// Signature of every distribution function (paper's distr_func_t).
+using DistrFunc = double (*)(int me, int sz, double scale,
+                             const DistrDesc& dd);
+
+// --- the paper's predefined functions -----------------------------------
+
+/// SAME: everyone gets the same value.
+double df_same(int me, int sz, double scale, const DistrDesc& dd);
+/// CYCLIC2: even ranks get low, odd ranks get high.
+double df_cyclic2(int me, int sz, double scale, const DistrDesc& dd);
+/// BLOCK2: first half gets low, second half gets high.
+double df_block2(int me, int sz, double scale, const DistrDesc& dd);
+/// LINEAR: linear interpolation from low (rank 0) to high (rank sz-1).
+double df_linear(int me, int sz, double scale, const DistrDesc& dd);
+/// PEAK: rank n gets high, all others get low.
+double df_peak(int me, int sz, double scale, const DistrDesc& dd);
+/// CYCLIC3: ranks cycle low, med, high.
+double df_cyclic3(int me, int sz, double scale, const DistrDesc& dd);
+/// BLOCK3: three blocks of low, med, high.
+double df_block3(int me, int sz, double scale, const DistrDesc& dd);
+
+// --- extensions -----------------------------------------------------------
+
+/// RANDOM: deterministic pseudo-random value in [low, high], seeded by rank
+/// (reproducible across runs and platforms).
+double df_random(int me, int sz, double scale, const DistrDesc& dd);
+/// CUSTOM: per-rank table lookup (table[me % table.size()]).
+double df_custom(int me, int sz, double scale, const DistrDesc& dd);
+
+/// A bound distribution: function plus descriptor, callable per rank.
+struct Distribution {
+  DistrFunc fn = &df_same;
+  DistrDesc desc = Val1{0.0};
+
+  double operator()(int me, int sz, double scale = 1.0) const;
+
+  // Convenience factories mirroring the paper's usage.
+  static Distribution same(double val);
+  static Distribution cyclic2(double low, double high);
+  static Distribution block2(double low, double high);
+  static Distribution linear(double low, double high);
+  static Distribution peak(double low, double high, int n);
+  static Distribution cyclic3(double low, double med, double high);
+  static Distribution block3(double low, double med, double high);
+  static Distribution random(double low, double high);
+  static Distribution custom(std::vector<double> table);
+};
+
+/// Name -> function lookup for the generator/CLI ("same", "cyclic2", ...).
+DistrFunc distr_func_by_name(const std::string& name);
+/// Inverse of distr_func_by_name for known functions.
+std::string distr_func_name(DistrFunc fn);
+/// All registered distribution function names.
+std::vector<std::string> distr_func_names();
+
+/// Per-rank values of `d` over a group of `sz` ranks.
+std::vector<double> distr_values(const Distribution& d, int sz,
+                                 double scale = 1.0);
+
+}  // namespace ats::core

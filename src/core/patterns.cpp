@@ -1,0 +1,91 @@
+#include "core/patterns.hpp"
+
+namespace ats::core {
+
+namespace {
+
+void one_send(mpi::Proc& p, MpiBuf& buf, int dest, const PatternOptions& opt,
+              mpi::Comm& comm) {
+  if (opt.use_ssend) {
+    p.ssend(buf.data(), buf.count(), buf.type(), dest, kPatternTag, comm);
+  } else if (opt.use_isend) {
+    mpi::Request r =
+        p.isend(buf.data(), buf.count(), buf.type(), dest, kPatternTag, comm);
+    p.wait(r);
+  } else {
+    p.send(buf.data(), buf.count(), buf.type(), dest, kPatternTag, comm);
+  }
+}
+
+void one_recv(mpi::Proc& p, MpiBuf& buf, int src, const PatternOptions& opt,
+              mpi::Comm& comm) {
+  if (opt.use_irecv) {
+    mpi::Request r =
+        p.irecv(buf.data(), buf.count(), buf.type(), src, kPatternTag, comm);
+    p.wait(r);
+  } else {
+    p.recv(buf.data(), buf.count(), buf.type(), src, kPatternTag, comm);
+  }
+}
+
+}  // namespace
+
+void mpi_commpattern_sendrecv(PropCtx& ctx, MpiBuf& buf, Direction dir,
+                              const PatternOptions& opt, mpi::Comm& comm) {
+  mpi::Proc& p = ctx.mpi_proc();
+  const int me = p.rank(comm);
+  const int sz = comm.size();
+  // With an odd number of processes the last one does not participate.
+  if (sz % 2 == 1 && me == sz - 1) return;
+  if (sz < 2) return;
+  const bool even = (me % 2 == 0);
+  const int partner = even ? me + 1 : me - 1;
+  const bool i_send = (dir == Direction::kUp) ? even : !even;
+  if (i_send) {
+    one_send(p, buf, partner, opt, comm);
+  } else {
+    one_recv(p, buf, partner, opt, comm);
+  }
+}
+
+void mpi_commpattern_shift(PropCtx& ctx, MpiBuf& sbuf, MpiBuf& rbuf,
+                           Direction dir, const PatternOptions& opt,
+                           mpi::Comm& comm) {
+  mpi::Proc& p = ctx.mpi_proc();
+  const int me = p.rank(comm);
+  const int sz = comm.size();
+  if (sz < 2) return;
+  const int next = (me + 1) % sz;
+  const int prev = (me + sz - 1) % sz;
+  const int dest = (dir == Direction::kUp) ? next : prev;
+  const int src = (dir == Direction::kUp) ? prev : next;
+  if (opt.use_isend || opt.use_irecv || opt.use_ssend) {
+    // Explicit request form: post the receive, send, complete.
+    mpi::Request r = p.irecv(rbuf.data(), rbuf.count(), rbuf.type(), src,
+                             kPatternTag, comm);
+    one_send(p, sbuf, dest, opt, comm);
+    p.wait(r);
+  } else {
+    p.sendrecv(sbuf.data(), sbuf.count(), sbuf.type(), dest, kPatternTag,
+               rbuf.data(), rbuf.count(), rbuf.type(), src, kPatternTag,
+               comm);
+  }
+}
+
+void mpi_commpattern_pairwise(PropCtx& ctx, MpiBuf& sbuf, MpiBuf& rbuf,
+                              mpi::Comm& comm) {
+  mpi::Proc& p = ctx.mpi_proc();
+  const int me = p.rank(comm);
+  const int sz = comm.size();
+  // Exchange with every peer, ordered by XOR distance so each round pairs
+  // everyone up without serialising (classic pairwise exchange).
+  for (int round = 1; round < sz; ++round) {
+    const int peer = me ^ round;
+    if (peer >= sz) continue;
+    p.sendrecv(sbuf.data(), sbuf.count(), sbuf.type(), peer, kPatternTag,
+               rbuf.data(), rbuf.count(), rbuf.type(), peer, kPatternTag,
+               comm);
+  }
+}
+
+}  // namespace ats::core

@@ -1,0 +1,50 @@
+// MPI communication patterns (paper §3.1.4).
+//
+// Reusable building blocks for property functions.  Patterns are called by
+// all processes of a communicator, like a collective; they are designed to
+// work with minimal context — any number of processes, any amount of other
+// traffic — and never deadlock on their own.
+#pragma once
+
+#include <cstdint>
+
+#include "core/buffer.hpp"
+#include "core/propctx.hpp"
+
+namespace ats::core {
+
+enum class Direction : std::uint8_t { kUp, kDown };
+
+/// Options selecting the MPI flavour a pattern uses (paper's use_isend /
+/// use_irecv flags, extended with synchronous sends so the late_receiver
+/// property can force the rendezvous protocol).
+struct PatternOptions {
+  bool use_isend = false;
+  bool use_irecv = false;
+  bool use_ssend = false;
+};
+
+/// Even/odd pairwise exchange (paper's mpi_commpattern_sendrecv): with
+/// kUp, every even rank sends one message to the next odd rank; with kDown,
+/// odd ranks send to the preceding even rank.  With an odd communicator
+/// size the last rank sits out.  All ranks must pass the same direction.
+void mpi_commpattern_sendrecv(PropCtx& ctx, MpiBuf& buf, Direction dir,
+                              const PatternOptions& opt, mpi::Comm& comm);
+
+/// Cyclic shift (paper's mpi_commpattern_shift): every rank sends to its
+/// neighbour ((me+1) % size with kUp) and receives from the other side.
+/// A single process communicator degenerates to a no-op.
+void mpi_commpattern_shift(PropCtx& ctx, MpiBuf& sbuf, MpiBuf& rbuf,
+                           Direction dir, const PatternOptions& opt,
+                           mpi::Comm& comm);
+
+/// Extension: full pairwise exchange — every rank exchanges a message with
+/// every other rank (N×N point-to-point traffic).
+void mpi_commpattern_pairwise(PropCtx& ctx, MpiBuf& sbuf, MpiBuf& rbuf,
+                              mpi::Comm& comm);
+
+/// Tag used by the patterns (all pattern traffic shares one tag so it can
+/// coexist with user traffic on other tags).
+inline constexpr int kPatternTag = 4711;
+
+}  // namespace ats::core

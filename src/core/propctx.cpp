@@ -1,0 +1,54 @@
+#include "core/propctx.hpp"
+
+namespace ats::core {
+
+PropCtx PropCtx::from(mpi::Proc& p, omp::Runtime* omp_rt) {
+  PropCtx ctx;
+  ctx.proc = &p;
+  ctx.sim = &p.sim();
+  ctx.trace = p.world().trace();
+  ctx.omprt = omp_rt;
+  return ctx;
+}
+
+PropCtx PropCtx::from(simt::Context& c, omp::Runtime& omp_rt) {
+  PropCtx ctx;
+  ctx.sim = &c;
+  ctx.trace = omp_rt.trace();
+  ctx.omprt = &omp_rt;
+  return ctx;
+}
+
+mpi::Proc& PropCtx::mpi_proc() const {
+  require(proc != nullptr, "PropCtx: no MPI process bound");
+  return *proc;
+}
+
+omp::Runtime& PropCtx::omp_rt() const {
+  require(omprt != nullptr, "PropCtx: no OpenMP runtime bound");
+  return *omprt;
+}
+
+void do_work(PropCtx& ctx, double secs) {
+  require(ctx.sim != nullptr && ctx.trace != nullptr,
+          "do_work: PropCtx is not bound");
+  do_work(*ctx.sim, *ctx.trace, ctx.work, secs);
+}
+
+void par_do_mpi_work(PropCtx& ctx, const Distribution& d, double scale,
+                     mpi::Comm& comm) {
+  // Mirrors the paper's implementation: determine rank and size, evaluate
+  // the distribution, run the sequential work function.
+  mpi::Proc& p = ctx.mpi_proc();
+  const int me = p.rank(comm);
+  const int sz = comm.size();
+  do_work(ctx, d(me, sz, scale));
+}
+
+void par_do_omp_work(PropCtx& ctx, omp::OmpCtx& team, const Distribution& d,
+                     double scale) {
+  do_work(team.sim(), *ctx.trace, ctx.work,
+          d(team.thread_num(), team.num_threads(), scale));
+}
+
+}  // namespace ats::core

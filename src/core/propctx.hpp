@@ -1,0 +1,67 @@
+// Execution context for ATS property functions.
+//
+// The paper's C prototype keeps the default MPI buffer signature
+// (set_base_comm) and work calibration in globals; this library carries them
+// in an explicit PropCtx handed to every property function, together with
+// the simulated-MPI process handle and (when OpenMP constructs are used) the
+// per-process OpenMP runtime.
+#pragma once
+
+#include "core/distribution.hpp"
+#include "core/work.hpp"
+#include "mpisim/datatype.hpp"
+#include "mpisim/world.hpp"
+#include "ompsim/omp.hpp"
+
+namespace ats::core {
+
+/// Default buffer signature for MPI property functions (paper's
+/// set_base_comm): element type and count used by patterns when the caller
+/// does not pass explicit buffers.
+struct MpiDefaults {
+  mpi::Datatype base_type = mpi::Datatype::kInt32;
+  int base_cnt = 256;
+};
+
+struct PropCtx {
+  /// The simulated MPI process, when running under MPI (may be null for
+  /// pure-OpenMP programs).
+  mpi::Proc* proc = nullptr;
+  /// The location context (always set).
+  simt::Context* sim = nullptr;
+  /// Event trace (always set).
+  trace::Trace* trace = nullptr;
+  /// OpenMP runtime of this process (set when OpenMP properties run).
+  omp::Runtime* omprt = nullptr;
+  WorkConfig work{};
+  MpiDefaults defaults{};
+
+  /// Binds to an MPI process (OpenMP runtime optional, for hybrid tests).
+  static PropCtx from(mpi::Proc& p, omp::Runtime* omp_rt = nullptr);
+  /// Binds to a bare location plus OpenMP runtime (pure-OpenMP tests).
+  static PropCtx from(simt::Context& ctx, omp::Runtime& omp_rt);
+
+  /// Checked access to the MPI process / OpenMP runtime.
+  mpi::Proc& mpi_proc() const;
+  omp::Runtime& omp_rt() const;
+
+  /// Paper's set_base_comm(type, cnt).
+  void set_base_comm(mpi::Datatype type, int cnt) {
+    defaults.base_type = type;
+    defaults.base_cnt = cnt;
+  }
+};
+
+/// Sequential work (paper's do_work) in the bound context.
+void do_work(PropCtx& ctx, double secs);
+
+/// Parallel work over an MPI communicator (paper's par_do_mpi_work): every
+/// rank computes its share from the distribution and executes it.
+void par_do_mpi_work(PropCtx& ctx, const Distribution& d, double scale,
+                     mpi::Comm& comm);
+
+/// Parallel work inside an OpenMP team (paper's par_do_omp_work).
+void par_do_omp_work(PropCtx& ctx, omp::OmpCtx& team, const Distribution& d,
+                     double scale);
+
+}  // namespace ats::core

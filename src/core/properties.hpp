@@ -1,0 +1,152 @@
+// ATS performance property functions (paper §3.1.5).
+//
+// Each function, when executed by all ranks of a communicator (or threads
+// of a team), injects exactly one well-defined performance property with a
+// severity controlled by its parameters.  The thirteen functions of the
+// paper's prototype are implemented with their original names and parameter
+// conventions; the extended set covers the catalog the paper lists as
+// future work (more MPI collectives, OpenMP scheduling/locking, hybrid
+// patterns), plus negative (well-tuned) functions for negative-correctness
+// testing.
+//
+// Conventions, following the paper:
+//  * work amounts are in (virtual) seconds;
+//  * `r` is the repetition count of the property's main body;
+//  * imbalance-style properties take a generic Distribution; event-pattern
+//    properties (late_sender & friends) take explicit base/extra work;
+//  * every function wraps itself in a user region named like the function,
+//    so an analysis tool localises the property at a distinct call path.
+#pragma once
+
+#include "core/buffer.hpp"
+#include "core/patterns.hpp"
+#include "core/propctx.hpp"
+
+namespace ats::core {
+
+/// RAII helper: user trace region named after the property function.
+class PropRegion {
+ public:
+  PropRegion(PropCtx& ctx, simt::Context& sim, const char* name);
+  ~PropRegion();
+  PropRegion(const PropRegion&) = delete;
+  PropRegion& operator=(const PropRegion&) = delete;
+
+ private:
+  trace::Trace* trace_;
+  simt::Context* sim_;
+  trace::RegionId reg_;
+};
+
+// ====================== MPI point-to-point properties =====================
+
+/// Receivers block because the matching sends start late (paper's example):
+/// even ranks (the senders under DIR_UP) get `basework + extrawork`, odd
+/// ranks only `basework`, then the pairs exchange one message.
+void late_sender(PropCtx& ctx, double basework, double extrawork, int r,
+                 mpi::Comm& comm);
+
+/// Senders block (rendezvous protocol) because receivers post late: the
+/// receiving odd ranks get the extra work and the exchange uses ssend.
+void late_receiver(PropCtx& ctx, double basework, double extrawork, int r,
+                   mpi::Comm& comm);
+
+/// Extension: late sender caused by messages arriving in the wrong order —
+/// the sender emits tag B then tag A, the receiver consumes A then B.
+void late_sender_wrong_order(PropCtx& ctx, double basework, double extrawork,
+                             int r, mpi::Comm& comm);
+
+// ======================== MPI collective properties ========================
+
+void imbalance_at_mpi_barrier(PropCtx& ctx, const Distribution& d, int r,
+                              mpi::Comm& comm);
+void imbalance_at_mpi_alltoall(PropCtx& ctx, const Distribution& d, int r,
+                               mpi::Comm& comm);
+/// Extensions: the other N×N collectives.
+void imbalance_at_mpi_allreduce(PropCtx& ctx, const Distribution& d, int r,
+                                mpi::Comm& comm);
+void imbalance_at_mpi_allgather(PropCtx& ctx, const Distribution& d, int r,
+                                mpi::Comm& comm);
+void imbalance_at_mpi_scan(PropCtx& ctx, const Distribution& d, int r,
+                           mpi::Comm& comm);
+void imbalance_at_mpi_reduce_scatter(PropCtx& ctx, const Distribution& d,
+                                     int r, mpi::Comm& comm);
+
+/// Non-roots wait in MPI_Bcast because the root enters late.
+void late_broadcast(PropCtx& ctx, double basework, double rootextrawork,
+                    int root, int r, mpi::Comm& comm);
+/// Same situation for MPI_Scatter / MPI_Scatterv.
+void late_scatter(PropCtx& ctx, double basework, double rootextrawork,
+                  int root, int r, mpi::Comm& comm);
+void late_scatterv(PropCtx& ctx, double basework, double rootextrawork,
+                   int root, int r, mpi::Comm& comm);
+
+/// The root enters MPI_Reduce early (everyone else still computes) and
+/// waits for the contributions.
+void early_reduce(PropCtx& ctx, double rootwork, double baseextrawork,
+                  int root, int r, mpi::Comm& comm);
+/// Same situation for MPI_Gather / MPI_Gatherv.
+void early_gather(PropCtx& ctx, double rootwork, double baseextrawork,
+                  int root, int r, mpi::Comm& comm);
+void early_gatherv(PropCtx& ctx, double rootwork, double baseextrawork,
+                   int root, int r, mpi::Comm& comm);
+
+// ========================== OpenMP properties =============================
+
+/// Unequal work inside a parallel region; the imbalance surfaces at the
+/// region's implicit barrier.
+void imbalance_in_omp_pregion(PropCtx& ctx, const Distribution& d, int r,
+                              int nthreads);
+/// Unequal work before an explicit OpenMP barrier (paper's worked example).
+void imbalance_at_omp_barrier(PropCtx& ctx, const Distribution& d, int r,
+                              int nthreads);
+/// Unequal per-thread work in a statically scheduled loop.
+void imbalance_in_omp_loop(PropCtx& ctx, const Distribution& d, int r,
+                           int nthreads);
+/// Extension: unequal section lengths in a sections construct.
+void imbalance_in_omp_sections(PropCtx& ctx, const Distribution& d, int r,
+                               int nthreads);
+/// Extension: all threads funnel through one critical section that holds
+/// `holdwork` seconds of work per visit.
+void omp_lock_contention(PropCtx& ctx, double holdwork, int r, int nthreads);
+/// Extension: work serialised in a single construct while the team waits.
+void serialization_in_omp_single(PropCtx& ctx, double singlework, int r,
+                                 int nthreads);
+/// Extension (EXPERT's Idle Threads): serial master computation alternates
+/// with parallel regions, leaving the worker CPUs idle in between.
+void omp_idle_threads(PropCtx& ctx, double serialwork, double parallelwork,
+                      int r, int nthreads);
+
+// ========================== Hybrid properties =============================
+
+/// MPI exchange performed by the OpenMP master while the other threads wait
+/// at a barrier (classic hybrid bottleneck on SMP clusters).
+void hybrid_mpi_in_omp_master(PropCtx& ctx, double basework,
+                              double masterextra, int r, mpi::Comm& comm,
+                              int nthreads);
+/// Late sender where sender-side work runs inside an OpenMP region.
+void hybrid_late_sender_in_pregion(PropCtx& ctx, double basework,
+                                   double extrawork, int r, mpi::Comm& comm,
+                                   int nthreads);
+
+// ====================== Sequential properties (§5) ========================
+
+/// Memory-latency-bound phase: in busy mode the work loop is a dependent
+/// random chase (cache misses dominate); the phase is localised under its
+/// own region so a counter-aware tool can attribute it.  Virtual time is
+/// kernel independent.
+void sequential_memory_bound(PropCtx& ctx, double work, int r);
+/// Compute-bound phase: register-only floating-point chain in busy mode.
+void sequential_compute_bound(PropCtx& ctx, double work, int r);
+
+// ==================== Negative (well-tuned) functions ======================
+
+/// Balanced nearest-neighbour exchange: same work everywhere, symmetric
+/// shift — a correct tool must not flag significant waiting here.
+void balanced_mpi_stencil(PropCtx& ctx, double work, int r, mpi::Comm& comm);
+/// Balanced collectives (barrier + allreduce) with equal work.
+void balanced_collectives(PropCtx& ctx, double work, int r, mpi::Comm& comm);
+/// Balanced OpenMP loop with equal iterations.
+void balanced_omp_loop(PropCtx& ctx, double work, int r, int nthreads);
+
+}  // namespace ats::core

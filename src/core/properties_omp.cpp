@@ -1,0 +1,172 @@
+// OpenMP and hybrid property functions.
+#include "core/properties.hpp"
+
+namespace ats::core {
+
+// ----------------------------------------------------------------- OpenMP
+
+void imbalance_in_omp_pregion(PropCtx& ctx, const Distribution& d, int r,
+                              int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "imbalance_in_omp_pregion");
+  // Unequal work per thread with no explicit synchronisation: the wait
+  // appears at the parallel region's implicit barrier.
+  for (int i = 0; i < r; ++i) {
+    omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                  [&](omp::OmpCtx& o) { par_do_omp_work(ctx, o, d, 1.0); },
+                  "imbalance_in_omp_pregion");
+  }
+}
+
+void imbalance_at_omp_barrier(PropCtx& ctx, const Distribution& d, int r,
+                              int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "imbalance_at_omp_barrier");
+  // The paper's reference implementation: one region, r iterations of
+  // unequal work followed by an explicit barrier.
+  omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                [&](omp::OmpCtx& o) {
+                  for (int i = 0; i < r; ++i) {
+                    par_do_omp_work(ctx, o, d, 1.0);
+                    o.barrier();
+                  }
+                },
+                "imbalance_at_omp_barrier");
+}
+
+void imbalance_in_omp_loop(PropCtx& ctx, const Distribution& d, int r,
+                           int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "imbalance_in_omp_loop");
+  // Statically scheduled loop with one iteration per thread whose cost
+  // follows the distribution: the imbalance surfaces at the loop's
+  // implicit barrier.
+  omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                [&](omp::OmpCtx& o) {
+                  for (int i = 0; i < r; ++i) {
+                    o.for_static(nthreads, 0, [&](std::int64_t it) {
+                      do_work(o.sim(), *ctx.trace, ctx.work,
+                              d(static_cast<int>(it), nthreads, 1.0));
+                    });
+                  }
+                },
+                "imbalance_in_omp_loop");
+}
+
+void imbalance_in_omp_sections(PropCtx& ctx, const Distribution& d, int r,
+                               int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "imbalance_in_omp_sections");
+  omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                [&](omp::OmpCtx& o) {
+                  for (int i = 0; i < r; ++i) {
+                    std::vector<std::function<void()>> secs;
+                    for (int s = 0; s < nthreads; ++s) {
+                      secs.emplace_back([&, s] {
+                        do_work(o.sim(), *ctx.trace, ctx.work,
+                                d(s, nthreads, 1.0));
+                      });
+                    }
+                    o.sections(secs);
+                  }
+                },
+                "imbalance_in_omp_sections");
+}
+
+void omp_lock_contention(PropCtx& ctx, double holdwork, int r,
+                         int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "omp_lock_contention");
+  omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                [&](omp::OmpCtx& o) {
+                  for (int i = 0; i < r; ++i) {
+                    o.critical("ats_contended", [&] {
+                      do_work(o.sim(), *ctx.trace, ctx.work, holdwork);
+                    });
+                  }
+                },
+                "omp_lock_contention");
+}
+
+void serialization_in_omp_single(PropCtx& ctx, double singlework, int r,
+                                 int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "serialization_in_omp_single");
+  omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                [&](omp::OmpCtx& o) {
+                  for (int i = 0; i < r; ++i) {
+                    o.single([&] {
+                      do_work(o.sim(), *ctx.trace, ctx.work, singlework);
+                    });
+                  }
+                },
+                "serialization_in_omp_single");
+}
+
+void omp_idle_threads(PropCtx& ctx, double serialwork, double parallelwork,
+                      int r, int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "omp_idle_threads");
+  const Distribution dd = Distribution::same(parallelwork);
+  for (int i = 0; i < r; ++i) {
+    // Serial master phase: the worker CPUs have nothing to do.
+    do_work(ctx, serialwork);
+    omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                  [&](omp::OmpCtx& o) { par_do_omp_work(ctx, o, dd, 1.0); },
+                  "omp_idle_threads_region");
+  }
+}
+
+void balanced_omp_loop(PropCtx& ctx, double work, int r, int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "balanced_omp_loop");
+  const Distribution dd = Distribution::same(work);
+  omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                [&](omp::OmpCtx& o) {
+                  for (int i = 0; i < r; ++i) {
+                    o.for_static(nthreads * 4, 0, [&](std::int64_t) {
+                      do_work(o.sim(), *ctx.trace, ctx.work,
+                              dd(o.thread_num(), nthreads, 0.25));
+                    });
+                  }
+                },
+                "balanced_omp_loop");
+}
+
+// ----------------------------------------------------------------- hybrid
+
+void hybrid_mpi_in_omp_master(PropCtx& ctx, double basework,
+                              double masterextra, int r, mpi::Comm& comm,
+                              int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "hybrid_mpi_in_omp_master");
+  ctx.mpi_proc();  // validate the binding up front
+  MpiBuf sbuf(ctx.defaults.base_type, ctx.defaults.base_cnt);
+  MpiBuf rbuf(ctx.defaults.base_type, ctx.defaults.base_cnt);
+  const Distribution dd = Distribution::same(basework);
+  omp::parallel(
+      *ctx.sim, ctx.omp_rt(), nthreads,
+      [&](omp::OmpCtx& o) {
+        for (int i = 0; i < r; ++i) {
+          par_do_omp_work(ctx, o, dd, 1.0);
+          o.master([&] {
+            // Master-only MPI phase: neighbour exchange plus extra work.
+            do_work(o.sim(), *ctx.trace, ctx.work, masterextra);
+            mpi_commpattern_shift(ctx, sbuf, rbuf, Direction::kUp, {}, comm);
+          });
+          o.barrier();  // the team waits for the master's MPI phase
+        }
+      },
+      "hybrid_mpi_in_omp_master");
+}
+
+void hybrid_late_sender_in_pregion(PropCtx& ctx, double basework,
+                                   double extrawork, int r, mpi::Comm& comm,
+                                   int nthreads) {
+  PropRegion region(ctx, *ctx.sim, "hybrid_late_sender_in_pregion");
+  mpi::Proc& p = ctx.mpi_proc();
+  const int me = p.rank(comm);
+  MpiBuf buf(ctx.defaults.base_type, ctx.defaults.base_cnt);
+  // Even ranks run a longer OpenMP phase, then send: odd ranks wait.
+  const double mywork = (me % 2 == 0) ? basework + extrawork : basework;
+  const Distribution dd = Distribution::same(mywork);
+  for (int i = 0; i < r; ++i) {
+    omp::parallel(*ctx.sim, ctx.omp_rt(), nthreads,
+                  [&](omp::OmpCtx& o) { par_do_omp_work(ctx, o, dd, 1.0); },
+                  "hybrid_compute_phase");
+    mpi_commpattern_sendrecv(ctx, buf, Direction::kUp, {}, comm);
+  }
+}
+
+}  // namespace ats::core

@@ -1,0 +1,127 @@
+#include "core/work.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ats::core {
+
+const char* to_string(BusyKernel k) {
+  switch (k) {
+    case BusyKernel::kMixed: return "mixed";
+    case BusyKernel::kMemoryBound: return "memory";
+    case BusyKernel::kComputeBound: return "compute";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The paper's loop: random read/write accesses over two arrays.
+double kernel_mixed(std::uint64_t iters, std::size_t array_elems,
+                    std::uint64_t seed) {
+  std::vector<double> a(array_elems, 1.0), b(array_elems, 2.0);
+  Rng rng(seed);
+  double sink = 0.0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::size_t ra =
+        static_cast<std::size_t>(rng.next_below(array_elems));
+    const std::size_t rb =
+        static_cast<std::size_t>(rng.next_below(array_elems));
+    b[rb] = a[ra] * 1.0000001 + 0.5;
+    a[ra] = b[rb] - sink * 1e-9;
+    sink += a[ra];
+  }
+  return sink;
+}
+
+/// Dependent pointer-chase: every load depends on the previous one, so the
+/// CPU pipeline stalls on memory latency (cache-miss bound for large
+/// arrays).
+double kernel_memory(std::uint64_t iters, std::size_t array_elems,
+                     std::uint64_t seed) {
+  std::vector<std::uint32_t> next(array_elems);
+  Rng rng(seed);
+  // A random cyclic permutation (Sattolo's algorithm) guarantees one cycle
+  // covering the whole array, so the chase never settles into a hot set.
+  for (std::size_t i = 0; i < array_elems; ++i) {
+    next[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = array_elems - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(next[i], next[j]);
+  }
+  std::uint32_t pos = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    pos = next[pos];
+  }
+  return static_cast<double>(pos);
+}
+
+/// Register-only dependent FP chain: no memory traffic after warm-up.
+double kernel_compute(std::uint64_t iters, std::uint64_t seed) {
+  double x = 1.0 + static_cast<double>(seed % 97) * 1e-6;
+  double y = 0.5;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 0.999999943 + 1e-9;
+    y = y * x + 1e-12;
+  }
+  return x + y;
+}
+
+}  // namespace
+
+double busy_work_iterations(std::uint64_t iters, std::size_t array_elems,
+                            std::uint64_t seed, BusyKernel kernel) {
+  require(array_elems > 0, "busy_work_iterations: empty arrays");
+  switch (kernel) {
+    case BusyKernel::kMixed: return kernel_mixed(iters, array_elems, seed);
+    case BusyKernel::kMemoryBound:
+      return kernel_memory(iters, array_elems, seed);
+    case BusyKernel::kComputeBound: return kernel_compute(iters, seed);
+  }
+  throw UsageError("busy_work_iterations: unknown kernel");
+}
+
+double calibrate_busy_work(std::size_t array_elems, double measure_seconds,
+                           BusyKernel kernel) {
+  require(measure_seconds > 0, "calibrate_busy_work: non-positive duration");
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t iters = 1 << 12;
+  // Grow the batch until it takes a measurable fraction of the budget, then
+  // extrapolate iterations per second.
+  for (;;) {
+    const auto t0 = Clock::now();
+    (void)busy_work_iterations(iters, array_elems, /*seed=*/1, kernel);
+    const double dt =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt >= measure_seconds || iters > (1ULL << 30)) {
+      return static_cast<double>(iters) / (dt > 0 ? dt : 1e-9);
+    }
+    iters *= 2;
+  }
+}
+
+void do_work(simt::Context& ctx, trace::Trace& trace, const WorkConfig& cfg,
+             double secs) {
+  if (secs < 0 || !std::isfinite(secs)) secs = 0.0;
+  const trace::RegionId reg =
+      trace.regions().intern("do_work", trace::RegionKind::kWork);
+  trace.enter(ctx.id(), ctx.now(), reg);
+  if (cfg.mode == WorkMode::kBusy) {
+    require(cfg.busy_iters_per_sec > 0,
+            "do_work: busy mode requires a calibrated busy_iters_per_sec "
+            "(run calibrate_busy_work)");
+    const auto iters =
+        static_cast<std::uint64_t>(secs * cfg.busy_iters_per_sec);
+    (void)busy_work_iterations(iters, cfg.array_elems, ctx.rng().next_u64(),
+                               cfg.kernel);
+  }
+  ctx.advance(VDur::seconds(secs));
+  trace.exit(ctx.id(), ctx.now(), reg);
+}
+
+}  // namespace ats::core

@@ -1,0 +1,68 @@
+// Work specification (paper §3.1.1).
+//
+// do_work(secs) executes `secs` seconds of generic computation.  Two modes:
+//
+//  * kVirtual (default): advances the simulated clock by exactly `secs` —
+//    deterministic, platform independent, and the mode every test and bench
+//    uses.  This is the "portable work specification" the paper wishes for.
+//  * kBusy: additionally burns real CPU with the paper's mechanism — a loop
+//    of pseudo-random read/write accesses over two arrays, calibrated once
+//    to iterations-per-second, using a lock-free generator (the paper
+//    reports that a locked rand() silently serialised their first OpenMP
+//    version; our generator is the fix they describe).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/vtime.hpp"
+#include "simt/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace ats::core {
+
+enum class WorkMode : std::uint8_t { kVirtual, kBusy };
+
+/// Sequential performance character of the busy loop (paper §5 asks for
+/// "test functions for sequential performance properties"; the kernels
+/// exercise distinct hardware bottlenecks so counter-based tools see
+/// different profiles, while virtual time stays identical).
+enum class BusyKernel : std::uint8_t {
+  kMixed,         ///< the paper's loop: random read/write over two arrays
+  kMemoryBound,   ///< dependent random chasing over a large array
+  kComputeBound,  ///< register-only floating-point chain, no memory traffic
+};
+
+const char* to_string(BusyKernel k);
+
+struct WorkConfig {
+  WorkMode mode = WorkMode::kVirtual;
+  /// Busy mode: calibrated loop iterations per host second (0 = must call
+  /// calibrate_busy_work and fill this in).
+  double busy_iters_per_sec = 0.0;
+  /// Busy mode: size of each access array in doubles.  Large enough that
+  /// random accesses defeat the L1/L2 cache, per the paper.
+  std::size_t array_elems = 1 << 16;
+  BusyKernel kernel = BusyKernel::kMixed;
+};
+
+/// Measures how many busy-loop iterations this host executes per second.
+/// Runs for roughly `measure_seconds` of wall-clock time.
+double calibrate_busy_work(std::size_t array_elems,
+                           double measure_seconds = 0.1,
+                           BusyKernel kernel = BusyKernel::kMixed);
+
+/// Runs `iters` iterations of the selected kernel (the unit that
+/// calibrate_busy_work measures).  Returns a checksum so the optimiser
+/// cannot delete the loop.
+double busy_work_iterations(std::uint64_t iters, std::size_t array_elems,
+                            std::uint64_t seed,
+                            BusyKernel kernel = BusyKernel::kMixed);
+
+/// Executes `secs` seconds of work on the calling location: enters the
+/// "do_work" trace region, advances the virtual clock (and burns host CPU in
+/// busy mode), exits the region.  Negative amounts are clamped to zero.
+void do_work(simt::Context& ctx, trace::Trace& trace, const WorkConfig& cfg,
+             double secs);
+
+}  // namespace ats::core

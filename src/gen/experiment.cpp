@@ -1,0 +1,77 @@
+#include "gen/experiment.hpp"
+
+#include <sstream>
+
+#include "common/strutil.hpp"
+
+namespace ats::gen {
+
+std::vector<ExperimentRow> run_experiment(const ExperimentPlan& plan) {
+  const PropertyDef& def = Registry::instance().find(plan.property);
+  require(!plan.axis.param.empty(), "experiment: sweep axis has no name");
+  require(!plan.axis.values.empty(), "experiment: sweep axis has no values");
+
+  std::vector<ExperimentRow> rows;
+  rows.reserve(plan.axis.values.size());
+  for (const std::string& value : plan.axis.values) {
+    ParamMap pm = plan.base;
+    RunConfig cfg = plan.config;
+    if (plan.axis.param == "np") {
+      ParamMap tmp;
+      tmp.set("np", value);
+      cfg.nprocs = tmp.get_int("np", cfg.nprocs);
+    } else {
+      pm.set(plan.axis.param, value);
+    }
+    const trace::Trace tr = run_single_property(def, pm, cfg);
+    const auto result = analyze::analyze(tr, plan.analyzer);
+
+    ExperimentRow row;
+    row.value = value;
+    row.total_time = result.total_time;
+    if (def.expected.has_value()) {
+      row.severity = result.cube.total(*def.expected);
+      row.fraction = result.total_time > VDur::zero()
+                         ? row.severity / result.total_time
+                         : 0.0;
+    }
+    const auto dom = result.dominant();
+    row.dominant = dom ? analyze::property_name(dom->prop) : "-";
+    row.detected =
+        def.expected.has_value() && dom && dom->prop == *def.expected;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string experiment_csv(const ExperimentPlan& plan,
+                           const std::vector<ExperimentRow>& rows) {
+  std::ostringstream os;
+  os << plan.axis.param
+     << ",severity_sec,fraction,detected,dominant,total_sec\n";
+  for (const auto& r : rows) {
+    os << r.value << ',' << fmt_double(r.severity.sec(), 9) << ','
+       << fmt_double(r.fraction, 6) << ',' << (r.detected ? 1 : 0) << ','
+       << r.dominant << ',' << fmt_double(r.total_time.sec(), 9) << "\n";
+  }
+  return os.str();
+}
+
+std::string experiment_table(const ExperimentPlan& plan,
+                             const std::vector<ExperimentRow>& rows) {
+  std::ostringstream os;
+  os << "sweep of '" << plan.property << "' over " << plan.axis.param
+     << "\n";
+  os << pad_right(plan.axis.param, 26) << pad_left("severity", 12)
+     << pad_left("share", 8) << pad_left("detected", 10)
+     << "  dominant\n" << repeat('-', 76) << "\n";
+  for (const auto& r : rows) {
+    os << pad_right(r.value, 26) << pad_left(r.severity.str(), 12)
+       << pad_left(fmt_percent(r.fraction, 1), 8)
+       << pad_left(r.detected ? "yes" : "no", 10) << "  " << r.dominant
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ats::gen

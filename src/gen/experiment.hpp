@@ -1,0 +1,55 @@
+// Parameter-sweep experiment management (paper §3.2).
+//
+// "More extensive experiments based on these synthetic test programs can
+// then be executed through scripting languages or through automatic
+// experiment management systems, such as ZENTURIO."  This module is that
+// facility in-library: an ExperimentPlan names a property function, a base
+// configuration and one sweep axis; run_experiment executes the grid and
+// reports, per point, the measured severity of the expected property and
+// whether the analyzer detected it — ready for CSV export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+
+namespace ats::gen {
+
+/// One swept parameter: a property parameter name (or "np" for the process
+/// count) and the values to try.
+struct SweepAxis {
+  std::string param;
+  std::vector<std::string> values;
+};
+
+struct ExperimentPlan {
+  std::string property;
+  /// Base parameters; the axis value overrides its key per run.
+  ParamMap base;
+  SweepAxis axis;
+  RunConfig config{};
+  analyze::AnalyzerOptions analyzer{};
+};
+
+struct ExperimentRow {
+  std::string value;          ///< the axis value of this run
+  VDur severity;              ///< measured severity of the expected property
+  double fraction = 0.0;      ///< severity / total time
+  bool detected = false;      ///< dominant finding == expected property
+  std::string dominant;       ///< name of the dominant finding ("-" if none)
+  VDur total_time;
+};
+
+/// Runs the sweep; one row per axis value, in order.
+std::vector<ExperimentRow> run_experiment(const ExperimentPlan& plan);
+
+/// Renders rows as CSV (header + one line per row).
+std::string experiment_csv(const ExperimentPlan& plan,
+                           const std::vector<ExperimentRow>& rows);
+
+/// Renders rows as an aligned text table.
+std::string experiment_table(const ExperimentPlan& plan,
+                             const std::vector<ExperimentRow>& rows);
+
+}  // namespace ats::gen

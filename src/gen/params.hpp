@@ -1,0 +1,64 @@
+// Typed parameter handling for generated single-property test programs.
+//
+// The paper (§3.2) envisions generating driver programs from property
+// function signatures that "read the necessary property parameters from the
+// command line".  ParamMap implements that: "key=value" strings parsed into
+// doubles, ints, and distribution specifications of the form
+//   <func>:<field>=<value>,...      e.g.  linear:low=0.01,high=0.05
+//                                          peak:low=0.01,high=0.1,n=2
+//                                          custom:values=1;2;3
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace ats::gen {
+
+enum class ParamKind : std::uint8_t { kDouble, kInt, kDistr };
+
+const char* to_string(ParamKind k);
+
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kDouble;
+  std::string default_value;
+  std::string help;
+};
+
+/// Parses "<func>:k=v,k=v" into a Distribution.
+core::Distribution parse_distribution(const std::string& spec);
+/// Renders a Distribution back into spec syntax (predefined functions only).
+std::string format_distribution(const core::Distribution& d);
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  /// Parses "key=value" tokens; throws UsageError on malformed input.
+  static ParamMap parse(std::span<const std::string> args);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+  /// Keys present in the map, sorted.
+  std::vector<std::string> keys() const;
+
+  /// Typed getters; fall back to `def` when the key is absent.
+  double get_double(const std::string& key, double def) const;
+  int get_int(const std::string& key, int def) const;
+  core::Distribution get_distr(const std::string& key,
+                               const std::string& def_spec) const;
+  std::string get_raw(const std::string& key, const std::string& def) const;
+
+  /// Validates that every key matches a spec name; throws otherwise.
+  void check_against(std::span<const ParamSpec> specs) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace ats::gen

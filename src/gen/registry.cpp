@@ -1,0 +1,457 @@
+#include "gen/registry.hpp"
+
+#include <algorithm>
+
+namespace ats::gen {
+
+const char* to_string(Paradigm p) {
+  switch (p) {
+    case Paradigm::kMpi: return "mpi";
+    case Paradigm::kOmp: return "omp";
+    case Paradigm::kHybrid: return "hybrid";
+    case Paradigm::kSeq: return "sequential";
+  }
+  return "?";
+}
+
+namespace {
+
+using analyze::PropertyId;
+using core::PropCtx;
+
+ParamMap pm(std::initializer_list<std::pair<const char*, const char*>> kv) {
+  ParamMap m;
+  for (const auto& [k, v] : kv) m.set(k, v);
+  return m;
+}
+
+std::vector<ParamSpec> work_params() {
+  return {
+      {"basework", ParamKind::kDouble, "0.01",
+       "seconds of computation every rank performs per iteration"},
+      {"extrawork", ParamKind::kDouble, "0.05",
+       "additional seconds injected to create the wait state"},
+      {"r", ParamKind::kInt, "3", "repetition count"},
+  };
+}
+
+std::vector<ParamSpec> root_params() {
+  auto p = work_params();
+  p.push_back({"root", ParamKind::kInt, "0", "root rank of the collective"});
+  return p;
+}
+
+std::vector<ParamSpec> distr_params() {
+  return {
+      {"df", ParamKind::kDistr, "linear:low=0.01,high=0.06",
+       "work distribution over the ranks/threads"},
+      {"r", ParamKind::kInt, "3", "repetition count"},
+  };
+}
+
+std::vector<ParamSpec> omp_extra(std::vector<ParamSpec> p) {
+  p.push_back({"nthreads", ParamKind::kInt, "4", "OpenMP team size"});
+  return p;
+}
+
+}  // namespace
+
+Registry::Registry() {
+  const char* kDfPositive = "linear:low=0.01,high=0.06";
+  const char* kDfNegative = "same:val=0.02";
+
+  auto add = [&](PropertyDef def) { defs_.push_back(std::move(def)); };
+
+  // ------------------------------------------------- MPI point-to-point
+  add({.name = "late_sender",
+       .paradigm = Paradigm::kMpi,
+       .brief = "receives block because matching sends start late",
+       .params = work_params(),
+       .expected = PropertyId::kLateSender,
+       .positive = pm({{"basework", "0.01"}, {"extrawork", "0.05"}}),
+       .negative = pm({{"basework", "0.02"}, {"extrawork", "0"}}),
+       .min_procs = 2,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::late_sender(c, m.get_double("basework", 0.01),
+                               m.get_double("extrawork", 0.05),
+                               m.get_int("r", 3), c.mpi_proc().comm_world());
+           }});
+  add({.name = "late_receiver",
+       .paradigm = Paradigm::kMpi,
+       .brief = "rendezvous sends block because receivers post late",
+       .params = work_params(),
+       .expected = PropertyId::kLateReceiver,
+       .positive = pm({{"basework", "0.01"}, {"extrawork", "0.05"}}),
+       .negative = pm({{"basework", "0.02"}, {"extrawork", "0"}}),
+       .min_procs = 2,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::late_receiver(c, m.get_double("basework", 0.01),
+                                 m.get_double("extrawork", 0.05),
+                                 m.get_int("r", 3),
+                                 c.mpi_proc().comm_world());
+           }});
+  add({.name = "late_sender_wrong_order",
+       .paradigm = Paradigm::kMpi,
+       .brief = "late sender with messages arriving out of order",
+       .params = work_params(),
+       .expected = PropertyId::kLateSenderWrongOrder,
+       .positive = pm({{"basework", "0.01"}, {"extrawork", "0.05"}}),
+       .negative = pm({{"basework", "0.02"}, {"extrawork", "0"}}),
+       .min_procs = 2,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::late_sender_wrong_order(
+                 c, m.get_double("basework", 0.01),
+                 m.get_double("extrawork", 0.05), m.get_int("r", 3),
+                 c.mpi_proc().comm_world());
+           }});
+
+  // ---------------------------------------------------- MPI collectives
+  auto add_nxn = [&](const char* name, PropertyId expected, auto fn) {
+    add({.name = name,
+         .paradigm = Paradigm::kMpi,
+         .brief = "imbalanced work before an N-to-N collective",
+         .params = distr_params(),
+         .expected = expected,
+         .positive = pm({{"df", kDfPositive}}),
+         .negative = pm({{"df", kDfNegative}}),
+         .min_procs = 2,
+         .invoke = [fn](PropCtx& c, const ParamMap& m) {
+           fn(c, m.get_distr("df", "linear:low=0.01,high=0.06"),
+              m.get_int("r", 3), c.mpi_proc().comm_world());
+         }});
+  };
+  add_nxn("imbalance_at_mpi_barrier", PropertyId::kWaitAtBarrier,
+          [](PropCtx& c, const core::Distribution& d, int r, mpi::Comm& cm) {
+            core::imbalance_at_mpi_barrier(c, d, r, cm);
+          });
+  add_nxn("imbalance_at_mpi_alltoall", PropertyId::kWaitAtNxN,
+          [](PropCtx& c, const core::Distribution& d, int r, mpi::Comm& cm) {
+            core::imbalance_at_mpi_alltoall(c, d, r, cm);
+          });
+  add_nxn("imbalance_at_mpi_allreduce", PropertyId::kWaitAtNxN,
+          [](PropCtx& c, const core::Distribution& d, int r, mpi::Comm& cm) {
+            core::imbalance_at_mpi_allreduce(c, d, r, cm);
+          });
+  add_nxn("imbalance_at_mpi_allgather", PropertyId::kWaitAtNxN,
+          [](PropCtx& c, const core::Distribution& d, int r, mpi::Comm& cm) {
+            core::imbalance_at_mpi_allgather(c, d, r, cm);
+          });
+  add_nxn("imbalance_at_mpi_scan", PropertyId::kWaitAtNxN,
+          [](PropCtx& c, const core::Distribution& d, int r, mpi::Comm& cm) {
+            core::imbalance_at_mpi_scan(c, d, r, cm);
+          });
+  add_nxn("imbalance_at_mpi_reduce_scatter", PropertyId::kWaitAtNxN,
+          [](PropCtx& c, const core::Distribution& d, int r, mpi::Comm& cm) {
+            core::imbalance_at_mpi_reduce_scatter(c, d, r, cm);
+          });
+
+  auto add_rooted = [&](const char* name, PropertyId expected,
+                        const char* brief, auto fn) {
+    add({.name = name,
+         .paradigm = Paradigm::kMpi,
+         .brief = brief,
+         .params = root_params(),
+         .expected = expected,
+         .positive = pm({{"basework", "0.01"}, {"extrawork", "0.05"}}),
+         .negative = pm({{"basework", "0.02"}, {"extrawork", "0"}}),
+         .min_procs = 2,
+         .invoke = [fn](PropCtx& c, const ParamMap& m) {
+           fn(c, m.get_double("basework", 0.01),
+              m.get_double("extrawork", 0.05), m.get_int("root", 0),
+              m.get_int("r", 3), c.mpi_proc().comm_world());
+         }});
+  };
+  add_rooted("late_broadcast", PropertyId::kLateBroadcast,
+             "non-roots wait in MPI_Bcast for a late root",
+             [](PropCtx& c, double b, double e, int root, int r,
+                mpi::Comm& cm) { core::late_broadcast(c, b, e, root, r, cm); });
+  add_rooted("late_scatter", PropertyId::kLateScatter,
+             "non-roots wait in MPI_Scatter for a late root",
+             [](PropCtx& c, double b, double e, int root, int r,
+                mpi::Comm& cm) { core::late_scatter(c, b, e, root, r, cm); });
+  add_rooted("late_scatterv", PropertyId::kLateScatter,
+             "non-roots wait in MPI_Scatterv for a late root",
+             [](PropCtx& c, double b, double e, int root, int r,
+                mpi::Comm& cm) { core::late_scatterv(c, b, e, root, r, cm); });
+  add_rooted("early_reduce", PropertyId::kEarlyReduce,
+             "the root waits in MPI_Reduce for late contributors",
+             [](PropCtx& c, double b, double e, int root, int r,
+                mpi::Comm& cm) { core::early_reduce(c, b, e, root, r, cm); });
+  add_rooted("early_gather", PropertyId::kEarlyGather,
+             "the root waits in MPI_Gather for late contributors",
+             [](PropCtx& c, double b, double e, int root, int r,
+                mpi::Comm& cm) { core::early_gather(c, b, e, root, r, cm); });
+  add_rooted("early_gatherv", PropertyId::kEarlyGather,
+             "the root waits in MPI_Gatherv for late contributors",
+             [](PropCtx& c, double b, double e, int root, int r,
+                mpi::Comm& cm) { core::early_gatherv(c, b, e, root, r, cm); });
+
+  // ------------------------------------------------------------- OpenMP
+  auto add_omp_distr = [&](const char* name, PropertyId expected, auto fn) {
+    add({.name = name,
+         .paradigm = Paradigm::kOmp,
+         .brief = "imbalanced work inside an OpenMP construct",
+         .params = omp_extra(distr_params()),
+         .expected = expected,
+         .positive = pm({{"df", kDfPositive}}),
+         .negative = pm({{"df", kDfNegative}}),
+         .min_procs = 1,
+         .uses_openmp = true,
+         .invoke = [fn](PropCtx& c, const ParamMap& m) {
+           fn(c, m.get_distr("df", "linear:low=0.01,high=0.06"),
+              m.get_int("r", 3), m.get_int("nthreads", 4));
+         }});
+  };
+  add_omp_distr("imbalance_in_omp_pregion",
+                PropertyId::kImbalanceInParallelRegion,
+                [](PropCtx& c, const core::Distribution& d, int r, int n) {
+                  core::imbalance_in_omp_pregion(c, d, r, n);
+                });
+  add_omp_distr("imbalance_at_omp_barrier", PropertyId::kWaitAtOmpBarrier,
+                [](PropCtx& c, const core::Distribution& d, int r, int n) {
+                  core::imbalance_at_omp_barrier(c, d, r, n);
+                });
+  add_omp_distr("imbalance_in_omp_loop", PropertyId::kImbalanceInOmpLoop,
+                [](PropCtx& c, const core::Distribution& d, int r, int n) {
+                  core::imbalance_in_omp_loop(c, d, r, n);
+                });
+  add_omp_distr("imbalance_in_omp_sections",
+                PropertyId::kImbalanceInOmpSections,
+                [](PropCtx& c, const core::Distribution& d, int r, int n) {
+                  core::imbalance_in_omp_sections(c, d, r, n);
+                });
+
+  add({.name = "omp_lock_contention",
+       .paradigm = Paradigm::kOmp,
+       .brief = "threads contend for one critical section",
+       .params = omp_extra({{"holdwork", ParamKind::kDouble, "0.02",
+                             "seconds the critical section is held"},
+                            {"r", ParamKind::kInt, "3", "repetitions"}}),
+       .expected = PropertyId::kOmpLockContention,
+       .positive = pm({{"holdwork", "0.02"}}),
+       .negative = pm({{"holdwork", "0.02"}, {"nthreads", "1"}}),
+       .min_procs = 1,
+       .uses_openmp = true,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::omp_lock_contention(c, m.get_double("holdwork", 0.02),
+                                       m.get_int("r", 3),
+                                       m.get_int("nthreads", 4));
+           }});
+  add({.name = "serialization_in_omp_single",
+       .paradigm = Paradigm::kOmp,
+       .brief = "one thread works in a single construct, the team waits",
+       .params = omp_extra({{"singlework", ParamKind::kDouble, "0.03",
+                             "seconds of work inside the single construct"},
+                            {"r", ParamKind::kInt, "3", "repetitions"}}),
+       .expected = PropertyId::kImbalanceInOmpSingle,
+       .positive = pm({{"singlework", "0.03"}}),
+       .negative = pm({{"singlework", "0.03"}, {"nthreads", "1"}}),
+       .min_procs = 1,
+       .uses_openmp = true,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::serialization_in_omp_single(
+                 c, m.get_double("singlework", 0.03), m.get_int("r", 3),
+                 m.get_int("nthreads", 4));
+           }});
+
+  add({.name = "omp_idle_threads",
+       .paradigm = Paradigm::kOmp,
+       .brief = "serial master phases leave the worker CPUs idle",
+       .params = omp_extra({{"serialwork", ParamKind::kDouble, "0.04",
+                             "seconds of serial (master-only) work"},
+                            {"parallelwork", ParamKind::kDouble, "0.01",
+                             "seconds of parallel work per thread"},
+                            {"r", ParamKind::kInt, "3", "repetitions"}}),
+       .expected = PropertyId::kOmpIdleThreads,
+       .positive = pm({{"serialwork", "0.04"}, {"parallelwork", "0.01"}}),
+       .negative = pm({{"serialwork", "0.04"},
+                       {"parallelwork", "0.01"},
+                       {"nthreads", "1"}}),
+       .min_procs = 1,
+       .uses_openmp = true,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::omp_idle_threads(c, m.get_double("serialwork", 0.04),
+                                    m.get_double("parallelwork", 0.01),
+                                    m.get_int("r", 3),
+                                    m.get_int("nthreads", 4));
+           }});
+
+  // ------------------------------------------------------------- hybrid
+  add({.name = "hybrid_mpi_in_omp_master",
+       .paradigm = Paradigm::kHybrid,
+       .brief = "MPI exchange in the OpenMP master while the team waits",
+       .params = omp_extra({{"basework", ParamKind::kDouble, "0.01",
+                             "per-thread compute seconds"},
+                            {"masterextra", ParamKind::kDouble, "0.04",
+                             "seconds of master-only MPI-phase work"},
+                            {"r", ParamKind::kInt, "3", "repetitions"}}),
+       .expected = PropertyId::kWaitAtOmpBarrier,
+       .positive = pm({{"basework", "0.01"}, {"masterextra", "0.04"}}),
+       .negative = pm({{"basework", "0.02"}, {"masterextra", "0"}}),
+       .min_procs = 2,
+       .uses_openmp = true,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::hybrid_mpi_in_omp_master(
+                 c, m.get_double("basework", 0.01),
+                 m.get_double("masterextra", 0.04), m.get_int("r", 3),
+                 c.mpi_proc().comm_world(), m.get_int("nthreads", 4));
+           }});
+  add({.name = "hybrid_late_sender_in_pregion",
+       .paradigm = Paradigm::kHybrid,
+       .brief = "late sender whose delay stems from an OpenMP phase",
+       .params = omp_extra(work_params()),
+       .expected = PropertyId::kLateSender,
+       .positive = pm({{"basework", "0.01"}, {"extrawork", "0.05"}}),
+       .negative = pm({{"basework", "0.02"}, {"extrawork", "0"}}),
+       .min_procs = 2,
+       .uses_openmp = true,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::hybrid_late_sender_in_pregion(
+                 c, m.get_double("basework", 0.01),
+                 m.get_double("extrawork", 0.05), m.get_int("r", 3),
+                 c.mpi_proc().comm_world(), m.get_int("nthreads", 4));
+           }});
+
+  // --------------------------------------------------------- sequential
+  auto add_seq = [&](const char* name, const char* brief, auto fn) {
+    add({.name = name,
+         .paradigm = Paradigm::kSeq,
+         .brief = brief,
+         .params = {{"work", ParamKind::kDouble, "0.02",
+                     "seconds per repetition"},
+                    {"r", ParamKind::kInt, "3", "repetitions"}},
+         .expected = std::nullopt,  // no wait state; a counter-based
+                                    // sequential pattern would be needed
+         .positive = pm({{"work", "0.02"}}),
+         .negative = pm({{"work", "0.02"}}),
+         .min_procs = 1,
+         .invoke = [fn](PropCtx& c, const ParamMap& m) {
+           fn(c, m.get_double("work", 0.02), m.get_int("r", 3));
+         }});
+  };
+  add_seq("sequential_memory_bound",
+          "memory-latency-bound compute phase (busy mode: pointer chase)",
+          [](PropCtx& c, double w, int r) {
+            core::sequential_memory_bound(c, w, r);
+          });
+  add_seq("sequential_compute_bound",
+          "compute-bound phase (busy mode: register FP chain)",
+          [](PropCtx& c, double w, int r) {
+            core::sequential_compute_bound(c, w, r);
+          });
+
+  // -------------------------------------------- negative (well-tuned)
+  add({.name = "balanced_mpi_stencil",
+       .paradigm = Paradigm::kMpi,
+       .brief = "well-tuned nearest-neighbour exchange (no property)",
+       .params = {{"work", ParamKind::kDouble, "0.02",
+                   "balanced per-rank compute seconds"},
+                  {"r", ParamKind::kInt, "3", "repetitions"}},
+       .expected = std::nullopt,
+       .positive = pm({{"work", "0.02"}}),
+       .negative = pm({{"work", "0.02"}}),
+       .min_procs = 2,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::balanced_mpi_stencil(c, m.get_double("work", 0.02),
+                                        m.get_int("r", 3),
+                                        c.mpi_proc().comm_world());
+           }});
+  add({.name = "balanced_collectives",
+       .paradigm = Paradigm::kMpi,
+       .brief = "well-tuned barrier + allreduce phases (no property)",
+       .params = {{"work", ParamKind::kDouble, "0.02",
+                   "balanced per-rank compute seconds"},
+                  {"r", ParamKind::kInt, "3", "repetitions"}},
+       .expected = std::nullopt,
+       .positive = pm({{"work", "0.02"}}),
+       .negative = pm({{"work", "0.02"}}),
+       .min_procs = 2,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::balanced_collectives(c, m.get_double("work", 0.02),
+                                        m.get_int("r", 3),
+                                        c.mpi_proc().comm_world());
+           }});
+  add({.name = "balanced_omp_loop",
+       .paradigm = Paradigm::kOmp,
+       .brief = "well-tuned OpenMP loop (no property)",
+       .params = omp_extra({{"work", ParamKind::kDouble, "0.02",
+                             "balanced per-thread compute seconds"},
+                            {"r", ParamKind::kInt, "3", "repetitions"}}),
+       .expected = std::nullopt,
+       .positive = pm({{"work", "0.02"}}),
+       .negative = pm({{"work", "0.02"}}),
+       .min_procs = 1,
+       .uses_openmp = true,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::balanced_omp_loop(c, m.get_double("work", 0.02),
+                                     m.get_int("r", 3),
+                                     m.get_int("nthreads", 4));
+           }});
+}
+
+const Registry& Registry::instance() {
+  static const Registry reg;
+  return reg;
+}
+
+const PropertyDef& Registry::find(const std::string& name) const {
+  for (const auto& d : defs_) {
+    if (d.name == name) return d;
+  }
+  throw UsageError("unknown property function '" + name +
+                   "' (see Registry::names())");
+}
+
+bool Registry::contains(const std::string& name) const {
+  return std::any_of(defs_.begin(), defs_.end(),
+                     [&](const PropertyDef& d) { return d.name == name; });
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(defs_.size());
+  for (const auto& d : defs_) out.push_back(d.name);
+  return out;
+}
+
+trace::Trace run_single_property(const PropertyDef& def, const ParamMap& pmap,
+                                 const RunConfig& cfg) {
+  pmap.check_against(def.params);
+  require(cfg.nprocs >= def.min_procs,
+          "property '" + def.name + "' needs at least " +
+              std::to_string(def.min_procs) + " processes");
+  mpi::MpiRunOptions opt;
+  opt.nprocs = cfg.nprocs;
+  opt.cost = cfg.mpi_cost;
+  opt.engine = cfg.engine;
+  opt.trace_enabled = cfg.trace_enabled;
+  auto result = mpi::run_mpi(opt, [&](mpi::Proc& p) {
+    if (def.uses_openmp) {
+      omp::Runtime rt(p.world().trace(), cfg.omp_cost);
+      core::PropCtx ctx = core::PropCtx::from(p, &rt);
+      def.invoke(ctx, pmap);
+    } else {
+      core::PropCtx ctx = core::PropCtx::from(p);
+      def.invoke(ctx, pmap);
+    }
+  });
+  return std::move(result.trace);
+}
+
+trace::Trace run_single_property(const std::string& name, const ParamMap& pm_,
+                                 const RunConfig& cfg) {
+  return run_single_property(Registry::instance().find(name), pm_, cfg);
+}
+
+}  // namespace ats::gen

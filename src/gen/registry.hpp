@@ -1,0 +1,80 @@
+// The ATS property registry and single-property test-program driver.
+//
+// Every property function is registered with typed parameter metadata, a
+// canonical *positive* configuration (clearly exhibits the property), a
+// canonical *negative* configuration (severity ~ 0), and the analyzer
+// property it is expected to trigger.  From this single table the library
+// derives:
+//   * the CLI driver (run any property with key=value arguments — the
+//     "generated" single-property test programs of paper §3.2),
+//   * the detection-matrix experiment (bench/tab_detection_matrix),
+//   * standalone C++ driver source generation (source_gen.hpp).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "core/composite.hpp"
+#include "core/properties.hpp"
+#include "gen/params.hpp"
+
+namespace ats::gen {
+
+enum class Paradigm : std::uint8_t { kMpi, kOmp, kHybrid, kSeq };
+
+const char* to_string(Paradigm p);
+
+struct PropertyDef {
+  std::string name;       ///< function name, e.g. "late_sender"
+  Paradigm paradigm = Paradigm::kMpi;
+  std::string brief;      ///< one-line description
+  std::vector<ParamSpec> params;
+  /// Analyzer property this function must trigger; empty for negative
+  /// (well-tuned) functions.
+  std::optional<analyze::PropertyId> expected;
+  /// Canonical parameter sets for the detection matrix.
+  ParamMap positive;
+  ParamMap negative;
+  /// Minimum number of MPI processes for a meaningful run.
+  int min_procs = 1;
+  bool uses_openmp = false;
+  /// Invokes the property function with parameters from `pm`.
+  std::function<void(core::PropCtx&, const ParamMap&)> invoke;
+};
+
+class Registry {
+ public:
+  static const Registry& instance();
+
+  const std::vector<PropertyDef>& all() const { return defs_; }
+  const PropertyDef& find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  Registry();
+  std::vector<PropertyDef> defs_;
+};
+
+/// Run configuration for a generated single-property program.
+struct RunConfig {
+  int nprocs = 4;
+  mpi::CostModel mpi_cost{};
+  omp::OmpCostModel omp_cost{};
+  simt::EngineOptions engine{};
+  bool trace_enabled = true;
+};
+
+/// Executes one property function as a complete simulated program (the
+/// generated single-property test program): launches `nprocs` ranks, binds
+/// PropCtx (with an OpenMP runtime when needed), runs the property with the
+/// given parameters, returns the trace.
+trace::Trace run_single_property(const PropertyDef& def, const ParamMap& pm,
+                                 const RunConfig& cfg);
+trace::Trace run_single_property(const std::string& name, const ParamMap& pm,
+                                 const RunConfig& cfg);
+
+}  // namespace ats::gen

@@ -1,0 +1,26 @@
+// Standalone driver-source generation (paper §3.2).
+//
+// The paper envisions generating single-property main programs from the
+// property function signatures (with PDT).  generate_driver_source emits a
+// complete, compilable C++ translation unit that links against this library,
+// parses its parameters from the command line, runs the property, and
+// prints the analyzer verdict — exactly the driver that run_single_property
+// executes in-process.
+#pragma once
+
+#include <string>
+
+#include "gen/registry.hpp"
+
+namespace ats::gen {
+
+/// Emits the C++ source of a standalone driver for `def`.
+std::string generate_driver_source(const PropertyDef& def);
+
+/// Usage/help text for one property (parameter table with defaults).
+std::string describe_property(const PropertyDef& def);
+
+/// Catalog listing of all registered properties.
+std::string describe_registry();
+
+}  // namespace ats::gen

@@ -1,0 +1,144 @@
+// Communicators and their matching/collective state.
+//
+// A Comm owns everything that is scoped to an MPI communicator: the member
+// group (global engine locations, position == rank), the point-to-point
+// matching queues, and in-flight collective instances.  All mutation happens
+// while the acting location holds the engine token, so no locks are needed
+// (see simt/engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/vtime.hpp"
+#include "mpisim/datatype.hpp"
+#include "mpisim/request.hpp"
+#include "simt/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace ats::mpi {
+
+class World;
+class Comm;
+
+/// Wildcards for receive matching.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// MPI_UNDEFINED equivalent for Comm split colors.
+inline constexpr int kUndefined = -32766;
+
+namespace detail {
+
+/// A message whose receive has not been posted yet (unexpected queue), or a
+/// rendezvous offer whose sender is blocked.
+struct PendingMsg {
+  int src_rank = -1;
+  int tag = -1;
+  Datatype type = Datatype::kByte;
+  std::vector<std::byte> payload;
+  bool rendezvous = false;
+  /// Eager: when the payload is available at the receiver.
+  VTime avail;
+  /// Rendezvous: when the sender became ready to transfer.
+  VTime sender_ready;
+  /// Rendezvous: the sender to wake (blocking ssend) ...
+  simt::LocationId sender_loc = simt::kNoLocation;
+  /// ... or the send request to complete (isend).
+  std::shared_ptr<RequestState> send_req;
+};
+
+/// A blocked MPI_Probe waiting for a matching envelope.
+struct ProbeWaiter {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  simt::LocationId loc = simt::kNoLocation;
+  std::shared_ptr<RequestState> st;  ///< carries the resulting Status
+};
+
+/// A posted receive waiting for a matching message.
+struct PendingRecv {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  Datatype type = Datatype::kByte;
+  void* data = nullptr;
+  std::int64_t capacity_bytes = 0;
+  /// When the receiver posted (enter time + overhead).
+  VTime posted_at;
+  simt::LocationId recv_loc = simt::kNoLocation;
+  /// Blocking recv: wake the receiver directly.  Non-blocking: complete req.
+  bool blocking = false;
+  std::shared_ptr<RequestState> req;
+};
+
+/// One in-flight collective operation instance on a communicator.
+struct CollInstance {
+  trace::CollOp op = trace::CollOp::kBarrier;
+  int root = -1;
+  int arrived = 0;
+  int exited = 0;
+  bool complete = false;           // outputs computed, exit times known
+  VTime max_enter;
+  VTime root_enter;
+  bool root_arrived = false;
+  /// Root-sink ops: the root is blocked waiting for contributions.
+  bool root_waiting = false;
+  std::vector<VTime> enter;        // per rank; VTime::max() = not yet
+  std::vector<bool> present;
+  std::vector<VTime> exit_at;      // per rank, valid once determinable
+  // Data staging -------------------------------------------------------
+  Datatype type = Datatype::kByte;
+  ReduceOp rop = ReduceOp::kSum;
+  std::vector<std::vector<std::byte>> contrib;  // per rank
+  std::vector<std::byte> root_data;             // bcast/scatter source
+  std::vector<void*> out_ptr;                   // per rank recv buffer
+  std::vector<std::int64_t> out_capacity;
+  std::vector<std::int64_t> out_counts;         // scatterv/gatherv
+  std::vector<std::int64_t> out_displs;
+  std::int64_t bytes_per_rank = 0;
+  // comm_split support ---------------------------------------------------
+  std::vector<int> colors, keys;
+  std::vector<Comm*> split_result;              // per rank
+};
+
+}  // namespace detail
+
+/// An MPI communicator over a fixed group of engine locations.
+class Comm {
+ public:
+  int size() const { return static_cast<int>(members_.size()); }
+  const std::string& name() const { return name_; }
+  trace::CommId trace_id() const { return trace_id_; }
+
+  /// Global engine location of `rank` (checked).
+  simt::LocationId member(int rank) const;
+  /// Rank of `loc` within this comm, or -1 if not a member.
+  int rank_of(simt::LocationId loc) const;
+
+ private:
+  friend class World;
+  friend class Proc;
+
+  Comm(World* world, std::vector<simt::LocationId> members, std::string name,
+       trace::CommId trace_id);
+
+  World* world_;
+  std::vector<simt::LocationId> members_;
+  std::string name_;
+  trace::CommId trace_id_;
+
+  // --- point-to-point matching state (indexed by destination rank) ------
+  std::vector<std::deque<detail::PendingMsg>> unexpected_;
+  std::vector<std::deque<detail::PendingRecv>> posted_;
+  std::vector<std::vector<detail::ProbeWaiter>> probing_;
+
+  // --- collective state --------------------------------------------------
+  std::vector<std::int64_t> coll_count_;            // per rank
+  std::map<std::int64_t, detail::CollInstance> coll_;
+};
+
+}  // namespace ats::mpi

@@ -1,0 +1,25 @@
+#include "mpisim/costmodel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ats::mpi {
+
+VDur CostModel::transfer_time(std::int64_t bytes) const {
+  if (bytes < 0) throw UsageError("transfer_time: negative byte count");
+  if (bandwidth_bytes_per_sec <= 0) {
+    throw UsageError("CostModel: bandwidth must be positive");
+  }
+  return VDur::seconds(static_cast<double>(bytes) / bandwidth_bytes_per_sec);
+}
+
+VDur CostModel::collective_time(int nprocs, std::int64_t bytes) const {
+  if (nprocs < 1) throw UsageError("collective_time: nprocs must be >= 1");
+  const int stages =
+      nprocs > 1 ? static_cast<int>(std::ceil(std::log2(nprocs))) : 1;
+  return coll_stage * static_cast<std::int64_t>(stages) +
+         transfer_time(bytes);
+}
+
+}  // namespace ats::mpi

@@ -1,0 +1,43 @@
+// Communication cost model for the simulated MPI.
+//
+// A simple latency/bandwidth (Hockney-style) model for point-to-point plus a
+// log(p) tree term for collectives.  The defaults resemble a 2002-era
+// cluster interconnect; property tests inject imbalances that are orders of
+// magnitude above these costs, so the exact constants affect only the
+// "noise floor" that negative tests must stay under.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/vtime.hpp"
+
+namespace ats::mpi {
+
+struct CostModel {
+  /// One-way point-to-point latency (alpha).
+  VDur p2p_latency = VDur::micros(5);
+  /// Link bandwidth in bytes per (virtual) second (1/beta).
+  double bandwidth_bytes_per_sec = 100.0e6;
+  /// Messages up to this size use the eager protocol; larger ones (and all
+  /// ssend operations) rendezvous with the receiver.
+  std::size_t eager_threshold = 16 * 1024;
+  /// CPU-side cost of initiating a send / completing a receive.
+  VDur send_overhead = VDur::micros(1);
+  VDur recv_overhead = VDur::micros(1);
+  /// Per-stage base cost of a collective (multiplied by ceil(log2 p)).
+  VDur coll_stage = VDur::micros(10);
+  /// Cost modelled for MPI_Init / MPI_Finalize; Fig. 3.2 of the paper notes
+  /// that small test programs expose a "High MPI Init/Finalize Overhead"
+  /// property, which we faithfully reproduce.
+  VDur init_cost = VDur::millis(2);
+  VDur finalize_cost = VDur::millis(1);
+
+  /// Pure payload transfer time (bytes / bandwidth).
+  VDur transfer_time(std::int64_t bytes) const;
+  /// End-to-end completion component of a collective over `nprocs` ranks
+  /// moving `bytes` per rank.
+  VDur collective_time(int nprocs, std::int64_t bytes) const;
+};
+
+}  // namespace ats::mpi

@@ -1,0 +1,43 @@
+// Basic datatypes and reduction operators for the simulated MPI.
+//
+// The ATS paper's buffer management only needs simple element types (it uses
+// MPI_INT and MPI_DOUBLE); we provide the usual fixed-size scalars.  Payload
+// is always moved as raw bytes; the datatype determines element size, and
+// reductions interpret the bytes accordingly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ats::mpi {
+
+enum class Datatype : std::uint8_t {
+  kByte,
+  kChar,
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+};
+
+std::size_t datatype_size(Datatype t);
+const char* to_string(Datatype t);
+
+enum class ReduceOp : std::uint8_t {
+  kSum,
+  kProd,
+  kMin,
+  kMax,
+  kLand,  ///< logical and
+  kLor,   ///< logical or
+};
+
+const char* to_string(ReduceOp op);
+
+/// Element-wise `inout[i] = op(inout[i], in[i])` for `count` elements.
+/// kByte/kChar are treated as signed 8-bit integers.
+void reduce_combine(ReduceOp op, Datatype type, const void* in, void* inout,
+                    int count);
+
+}  // namespace ats::mpi

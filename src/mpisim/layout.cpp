@@ -1,0 +1,63 @@
+#include "mpisim/layout.hpp"
+
+#include <cstring>
+
+namespace ats::mpi {
+
+Layout::Layout(Datatype base, int nblocks, int blocklen, int stride)
+    : base_(base), nblocks_(nblocks), blocklen_(blocklen), stride_(stride) {
+  require(nblocks >= 0, "Layout: negative block count");
+  require(blocklen >= 1, "Layout: block length must be >= 1");
+  require(stride >= blocklen,
+          "Layout: stride must be at least the block length");
+}
+
+Layout Layout::contiguous(Datatype base, int count) {
+  require(count >= 0, "Layout::contiguous: negative count");
+  return Layout(base, count, 1, 1);
+}
+
+Layout Layout::vector(Datatype base, int nblocks, int blocklen, int stride) {
+  return Layout(base, nblocks, blocklen, stride);
+}
+
+std::int64_t Layout::packed_bytes() const {
+  return static_cast<std::int64_t>(element_count()) *
+         static_cast<std::int64_t>(datatype_size(base_));
+}
+
+std::int64_t Layout::extent_bytes() const {
+  if (nblocks_ == 0) return 0;
+  const std::int64_t esz = static_cast<std::int64_t>(datatype_size(base_));
+  return (static_cast<std::int64_t>(nblocks_ - 1) * stride_ + blocklen_) *
+         esz;
+}
+
+std::vector<std::byte> Layout::pack(const void* src) const {
+  const std::size_t esz = datatype_size(base_);
+  std::vector<std::byte> out(static_cast<std::size_t>(packed_bytes()));
+  const auto* in = static_cast<const std::byte*>(src);
+  std::byte* dst = out.data();
+  for (int b = 0; b < nblocks_; ++b) {
+    std::memcpy(dst,
+                in + static_cast<std::size_t>(b) * stride_ * esz,
+                static_cast<std::size_t>(blocklen_) * esz);
+    dst += static_cast<std::size_t>(blocklen_) * esz;
+  }
+  return out;
+}
+
+void Layout::unpack(std::span<const std::byte> packed, void* dst) const {
+  require(packed.size() == static_cast<std::size_t>(packed_bytes()),
+          "Layout::unpack: packed size mismatch");
+  const std::size_t esz = datatype_size(base_);
+  auto* out = static_cast<std::byte*>(dst);
+  const std::byte* src = packed.data();
+  for (int b = 0; b < nblocks_; ++b) {
+    std::memcpy(out + static_cast<std::size_t>(b) * stride_ * esz, src,
+                static_cast<std::size_t>(blocklen_) * esz);
+    src += static_cast<std::size_t>(blocklen_) * esz;
+  }
+}
+
+}  // namespace ats::mpi

@@ -1,0 +1,54 @@
+// Derived-datatype layouts (paper §3.1.3).
+//
+// "MPI provides the possibility to work with arbitrarily complex,
+// structured and possibly non-contiguous data, so the data type argument is
+// needed to represent an MPI buffer."  This module provides the classic
+// derived layouts — contiguous and strided vector (MPI_Type_vector) — via
+// explicit pack/unpack, which is exactly how MPI implementations move
+// non-contiguous data.  Proc::send_packed / recv_packed transfer a layout's
+// elements through the ordinary typed-message path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpisim/datatype.hpp"
+
+namespace ats::mpi {
+
+/// A non-contiguous view over memory: `nblocks` blocks of `blocklen` base
+/// elements, block starts `stride` elements apart (stride >= blocklen).
+class Layout {
+ public:
+  static Layout contiguous(Datatype base, int count);
+  static Layout vector(Datatype base, int nblocks, int blocklen, int stride);
+
+  Datatype base() const { return base_; }
+  int nblocks() const { return nblocks_; }
+  int blocklen() const { return blocklen_; }
+  int stride() const { return stride_; }
+
+  /// Number of base elements actually transferred.
+  int element_count() const { return nblocks_ * blocklen_; }
+  /// Bytes transferred (the packed size).
+  std::int64_t packed_bytes() const;
+  /// Bytes the layout spans in user memory (the extent).
+  std::int64_t extent_bytes() const;
+
+  /// Gathers the layout's elements from `src` into a contiguous buffer.
+  std::vector<std::byte> pack(const void* src) const;
+  /// Scatters `packed` (packed_bytes() long) back into `dst`.
+  void unpack(std::span<const std::byte> packed, void* dst) const;
+
+ private:
+  Layout(Datatype base, int nblocks, int blocklen, int stride);
+
+  Datatype base_;
+  int nblocks_;
+  int blocklen_;
+  int stride_;
+};
+
+}  // namespace ats::mpi

@@ -1,0 +1,149 @@
+#include "mpisim/world.hpp"
+
+#include <algorithm>
+
+namespace ats::mpi {
+
+// ------------------------------------------------------------------- Comm
+
+Comm::Comm(World* world, std::vector<simt::LocationId> members,
+           std::string name, trace::CommId trace_id)
+    : world_(world),
+      members_(std::move(members)),
+      name_(std::move(name)),
+      trace_id_(trace_id) {
+  unexpected_.resize(members_.size());
+  posted_.resize(members_.size());
+  probing_.resize(members_.size());
+  coll_count_.assign(members_.size(), 0);
+}
+
+simt::LocationId Comm::member(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw MpiError("rank " + std::to_string(rank) +
+                   " out of range for communicator '" + name_ + "' of size " +
+                   std::to_string(size()));
+  }
+  return members_[static_cast<std::size_t>(rank)];
+}
+
+int Comm::rank_of(simt::LocationId loc) const {
+  const auto it = std::find(members_.begin(), members_.end(), loc);
+  if (it == members_.end()) return -1;
+  return static_cast<int>(it - members_.begin());
+}
+
+// ------------------------------------------------------------------ World
+
+World::World(simt::Engine& engine, int nprocs, CostModel cost,
+             trace::Trace* trace)
+    : engine_(engine), nprocs_(nprocs), cost_(cost), trace_(trace) {
+  require(nprocs >= 1, "World: need at least one process");
+  require(trace != nullptr, "World: trace must not be null");
+}
+
+void World::launch(std::function<void(Proc&)> body) {
+  require(!launched_, "World::launch called twice");
+  launched_ = true;
+  std::vector<simt::LocationId> members;
+  members.reserve(static_cast<std::size_t>(nprocs_));
+  auto shared_body =
+      std::make_shared<std::function<void(Proc&)>>(std::move(body));
+  for (int r = 0; r < nprocs_; ++r) {
+    const std::string name = "rank " + std::to_string(r);
+    const simt::LocationId id = engine_.add_location(
+        name, [this, r, shared_body](simt::Context& ctx) {
+          Proc proc(ctx, this, r);
+          proc.init();
+          (*shared_body)(proc);
+          proc.finalize();
+        });
+    members.push_back(id);
+    trace::LocationInfo info;
+    info.id = id;
+    info.parent = trace::kNone;
+    info.kind = trace::LocKind::kProcess;
+    info.rank = r;
+    info.thread = 0;
+    info.name = name;
+    trace_->add_location(std::move(info));
+  }
+  world_comm_ = &create_comm(std::move(members), "MPI_COMM_WORLD");
+}
+
+Comm& World::comm_world() {
+  require(world_comm_ != nullptr, "World: launch() has not been called");
+  return *world_comm_;
+}
+
+trace::RegionId World::region(const std::string& name,
+                              trace::RegionKind kind) {
+  return trace_->regions().intern(name, kind);
+}
+
+Comm& World::create_comm(std::vector<simt::LocationId> members,
+                         std::string name) {
+  const trace::CommId tid =
+      trace_->add_comm(trace::CommKind::kMpiComm, members, name);
+  comms_.emplace_back(Comm(this, std::move(members), std::move(name), tid));
+  return comms_.back();
+}
+
+// ------------------------------------------------------------------- Proc
+
+Proc::Proc(simt::Context& ctx, World* world, int world_rank)
+    : ctx_(ctx), world_(world), world_rank_(world_rank) {}
+
+int Proc::rank(const Comm& c) const {
+  const int r = c.rank_of(ctx_.id());
+  if (r < 0) {
+    throw MpiError("rank " + std::to_string(world_rank_) +
+                   " is not a member of communicator '" + c.name() + "'");
+  }
+  return r;
+}
+
+void Proc::init() {
+  const trace::RegionId reg =
+      world_->region("MPI_Init", trace::RegionKind::kMpiOther);
+  world_->trace()->enter(ctx_.id(), ctx_.now(), reg);
+  ctx_.advance(world_->cost().init_cost);
+  // MPI_Init synchronises the ranks in practice (shared launcher); model it
+  // as a barrier so stragglers show up inside MPI_Init, as in Fig. 3.2.
+  std::int64_t seq = 0;
+  Comm& comm = world_->comm_world();
+  detail::CollInstance& inst =
+      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq);
+  coll_all_wait(comm, inst, seq, [](detail::CollInstance&) {});
+  world_->trace()->exit(ctx_.id(), ctx_.now(), reg);
+}
+
+void Proc::finalize() {
+  const trace::RegionId reg =
+      world_->region("MPI_Finalize", trace::RegionKind::kMpiOther);
+  world_->trace()->enter(ctx_.id(), ctx_.now(), reg);
+  std::int64_t seq = 0;
+  Comm& comm = world_->comm_world();
+  detail::CollInstance& inst =
+      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq);
+  coll_all_wait(comm, inst, seq, [](detail::CollInstance&) {});
+  ctx_.advance(world_->cost().finalize_cost);
+  world_->trace()->exit(ctx_.id(), ctx_.now(), reg);
+}
+
+// ----------------------------------------------------------------- runner
+
+MpiRunResult run_mpi(const MpiRunOptions& options,
+                     const std::function<void(Proc&)>& body) {
+  MpiRunResult result;
+  result.trace.set_enabled(options.trace_enabled);
+  simt::Engine engine(options.engine);
+  World world(engine, options.nprocs, options.cost, &result.trace);
+  world.launch(body);
+  engine.run();
+  result.stats = engine.stats();
+  result.makespan = engine.horizon();
+  return result;
+}
+
+}  // namespace ats::mpi

@@ -1,0 +1,222 @@
+// The simulated MPI world: process launch, per-rank API (Proc), tracing.
+//
+// Usage mirrors an MPI program:
+//
+//   mpi::MpiRunOptions opt{.nprocs = 8};
+//   auto result = mpi::run_mpi(opt, [](mpi::Proc& p) {
+//     if (p.world_rank() == 0) { ... p.send(...); } else { ... p.recv(...); }
+//     p.barrier(p.comm_world());
+//   });
+//   // result.trace is the event trace an analysis tool consumes.
+//
+// Every Proc method may only be called from inside the body, on the owning
+// simulated process.  Semantic violations (mismatched collectives, truncating
+// receives, invalid ranks) throw MpiError; deadlocks surface as
+// simt::DeadlockError from Engine::run with a per-rank state dump.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpisim/comm.hpp"
+#include "mpisim/costmodel.hpp"
+#include "mpisim/datatype.hpp"
+#include "mpisim/layout.hpp"
+#include "mpisim/request.hpp"
+#include "simt/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace ats::mpi {
+
+class Proc;
+
+/// Per-engine MPI state: the communicator registry, cost model and trace.
+class World {
+ public:
+  World(simt::Engine& engine, int nprocs, CostModel cost,
+        trace::Trace* trace);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Registers the rank locations; `body` runs once per rank.  Call once,
+  /// before Engine::run().
+  void launch(std::function<void(Proc&)> body);
+
+  int nprocs() const { return nprocs_; }
+  Comm& comm_world();
+  const CostModel& cost() const { return cost_; }
+  trace::Trace* trace() { return trace_; }
+  simt::Engine& engine() { return engine_; }
+
+  /// Interns an MPI region name (cached).
+  trace::RegionId region(const std::string& name, trace::RegionKind kind);
+
+  /// Creates a communicator over `members` (global locations; position ==
+  /// rank) and registers it with the trace.
+  Comm& create_comm(std::vector<simt::LocationId> members, std::string name);
+
+ private:
+  friend class Proc;
+
+  simt::Engine& engine_;
+  int nprocs_;
+  CostModel cost_;
+  trace::Trace* trace_;
+  std::deque<Comm> comms_;  // stable addresses
+  Comm* world_comm_ = nullptr;
+  bool launched_ = false;
+};
+
+/// Per-rank MPI handle, constructed by World::launch around the user body.
+class Proc {
+ public:
+  // --- identity ---------------------------------------------------------
+  int world_rank() const { return world_rank_; }
+  int rank(const Comm& c) const;
+  Comm& comm_world() { return world_->comm_world(); }
+  World& world() { return *world_; }
+  simt::Context& sim() { return ctx_; }
+
+  // --- point-to-point ----------------------------------------------------
+  void send(const void* data, int count, Datatype type, int dest, int tag,
+            Comm& comm);
+  /// Synchronous send: always rendezvous (completes only once matched).
+  void ssend(const void* data, int count, Datatype type, int dest, int tag,
+             Comm& comm);
+  void recv(void* data, int count, Datatype type, int src, int tag,
+            Comm& comm, Status* status = nullptr);
+  Request isend(const void* data, int count, Datatype type, int dest,
+                int tag, Comm& comm);
+  Request irecv(void* data, int count, Datatype type, int src, int tag,
+                Comm& comm);
+  void wait(Request& req, Status* status = nullptr);
+  void waitall(std::span<Request> reqs);
+  /// Non-blocking completion check; never advances the clock past `now`.
+  bool test(Request& req, Status* status = nullptr);
+  /// Combined send+recv (deadlock-free pairwise exchange).
+  void sendrecv(const void* sdata, int scount, Datatype stype, int dest,
+                int stag, void* rdata, int rcount, Datatype rtype, int src,
+                int rtag, Comm& comm, Status* status = nullptr);
+  /// Sends a non-contiguous layout (derived datatype) by packing it into a
+  /// contiguous message; pairs with recv_packed (or a plain recv of
+  /// layout.element_count() base elements).
+  void send_packed(const void* data, const Layout& layout, int dest,
+                   int tag, Comm& comm);
+  /// Receives into a non-contiguous layout by unpacking a contiguous
+  /// message of layout.element_count() base elements.
+  void recv_packed(void* data, const Layout& layout, int src, int tag,
+                   Comm& comm, Status* status = nullptr);
+  /// Blocks until a matching message could be received; fills `status`
+  /// without consuming the message (MPI_Probe).
+  void probe(int src, int tag, Comm& comm, Status* status);
+  /// Non-blocking probe: true iff a matching message is available *now*.
+  bool iprobe(int src, int tag, Comm& comm, Status* status = nullptr);
+
+  // --- collectives --------------------------------------------------------
+  void barrier(Comm& comm);
+  void bcast(void* data, int count, Datatype type, int root, Comm& comm);
+  void scatter(const void* sdata, int scount, void* rdata, int rcount,
+               Datatype type, int root, Comm& comm);
+  void scatterv(const void* sdata, std::span<const int> scounts,
+                std::span<const int> displs, void* rdata, int rcount,
+                Datatype type, int root, Comm& comm);
+  void gather(const void* sdata, int scount, void* rdata, int rcount,
+              Datatype type, int root, Comm& comm);
+  void gatherv(const void* sdata, int scount, void* rdata,
+               std::span<const int> rcounts, std::span<const int> displs,
+               Datatype type, int root, Comm& comm);
+  void reduce(const void* sdata, void* rdata, int count, Datatype type,
+              ReduceOp op, int root, Comm& comm);
+  void allreduce(const void* sdata, void* rdata, int count, Datatype type,
+                 ReduceOp op, Comm& comm);
+  void alltoall(const void* sdata, int scount, void* rdata, int rcount,
+                Datatype type, Comm& comm);
+  void allgather(const void* sdata, int scount, void* rdata, int rcount,
+                 Datatype type, Comm& comm);
+  void scan(const void* sdata, void* rdata, int count, Datatype type,
+            ReduceOp op, Comm& comm);
+  /// Element-wise reduction of p blocks of `count` elements; block i of the
+  /// result lands on rank i (MPI_Reduce_scatter_block).
+  void reduce_scatter_block(const void* sdata, void* rdata, int count,
+                            Datatype type, ReduceOp op, Comm& comm);
+
+  // --- communicator management -------------------------------------------
+  /// Collective; returns the caller's new communicator, or nullptr when
+  /// `color == kUndefined`.
+  Comm* split(Comm& comm, int color, int key);
+  Comm& dup(Comm& comm);
+
+ private:
+  friend class World;
+  Proc(simt::Context& ctx, World* world, int world_rank);
+
+  void init();      ///< models MPI_Init (cost + implicit synchronisation)
+  void finalize();  ///< models MPI_Finalize
+
+  // p2p internals (p2p.cpp)
+  void send_impl(const void* data, int count, Datatype type, int dest,
+                 int tag, Comm& comm, bool force_sync, const char* region);
+  Request isend_impl(const void* data, int count, Datatype type, int dest,
+                     int tag, Comm& comm);
+  /// Finds a matching unexpected message; consumes and returns it.
+  std::optional<detail::PendingMsg> match_unexpected(Comm& comm, int my_rank,
+                                                     int src, int tag);
+  /// Finds a matching posted recv; consumes and returns it.
+  std::optional<detail::PendingRecv> match_posted(Comm& comm, int dest,
+                                                  int src_rank, int tag);
+  void complete_request(RequestState& st, VTime at, const Status& status);
+  /// Enqueues an unexpected message and releases matching probe waiters.
+  void enqueue_unexpected(Comm& comm, int dest, detail::PendingMsg msg);
+
+  // collective internals (coll.cpp)
+  detail::CollInstance& coll_enter(Comm& comm, trace::CollOp op, int root,
+                                   Datatype type, std::int64_t bytes,
+                                   std::int64_t& seq_out);
+  void coll_finish(Comm& comm, std::int64_t seq, trace::CollOp op,
+                   VTime enter_t, std::int64_t bytes_in,
+                   std::int64_t bytes_out, trace::RegionId region);
+  /// Implements the wait/compute logic shared by all-to-all-shaped ops.
+  void coll_all_wait(Comm& comm, detail::CollInstance& inst,
+                     std::int64_t seq,
+                     const std::function<void(detail::CollInstance&)>&
+                         compute_outputs);
+  void scatterv_impl(trace::CollOp op, const void* sdata,
+                     std::span<const int> scounts, std::span<const int> displs,
+                     void* rdata, int rcount, Datatype type, int root,
+                     Comm& comm);
+  void gatherv_impl(trace::CollOp op, const void* sdata, int scount,
+                    void* rdata, std::span<const int> rcounts,
+                    std::span<const int> displs, Datatype type, int root,
+                    Comm& comm);
+
+  simt::Context& ctx_;
+  World* world_;
+  int world_rank_;
+};
+
+/// Options for the one-call runner.
+struct MpiRunOptions {
+  int nprocs = 4;
+  CostModel cost{};
+  simt::EngineOptions engine{};
+  /// When false, the trace records nothing (overhead measurements).
+  bool trace_enabled = true;
+};
+
+struct MpiRunResult {
+  trace::Trace trace;
+  simt::EngineStats stats;
+  /// Latest clock over all ranks at completion (simulated makespan).
+  VTime makespan;
+};
+
+/// Creates an engine + world, runs `body` on every rank, returns the trace.
+MpiRunResult run_mpi(const MpiRunOptions& options,
+                     const std::function<void(Proc&)>& body);
+
+}  // namespace ats::mpi

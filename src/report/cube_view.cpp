@@ -1,0 +1,147 @@
+#include "report/cube_view.hpp"
+
+#include <sstream>
+
+#include "common/strutil.hpp"
+
+namespace ats::report {
+
+namespace {
+
+using analyze::AnalysisResult;
+using analyze::NodeId;
+using analyze::PropertyId;
+
+std::string percent_of(VDur part, VDur whole) {
+  if (whole <= VDur::zero()) return "   -  ";
+  return pad_left(fmt_percent(part / whole, 1), 6);
+}
+
+}  // namespace
+
+std::string render_property_tree(const AnalysisResult& result,
+                                 const trace::Trace& trace) {
+  (void)trace;
+  std::ostringstream os;
+  os << "performance properties" << pad_left("severity", 24)
+     << pad_left("share", 8) << "\n" << repeat('-', 60) << "\n";
+  for (PropertyId p : analyze::property_preorder()) {
+    const VDur sev = p == PropertyId::kTotal ? result.total_time
+                                             : result.cube.total(p);
+    if (p != PropertyId::kTotal && sev <= VDur::zero()) continue;
+    const int depth = analyze::property_depth(p);
+    std::string label = repeat(' ', static_cast<std::size_t>(2 * depth));
+    label += analyze::property_name(p);
+    os << pad_right(label, 34) << pad_left(sev.str(), 12) << "  "
+       << percent_of(sev, result.total_time) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_property_detail(const AnalysisResult& result,
+                                   const trace::Trace& trace,
+                                   PropertyId prop) {
+  std::ostringstream os;
+  os << "property: " << analyze::property_name(prop) << " — "
+     << analyze::property_info(prop).description << "\n";
+  const auto nodes = result.cube.nodes_of(prop);
+  if (nodes.empty()) {
+    os << "  (no severity recorded)\n";
+    return os.str();
+  }
+  os << "  call paths:\n";
+  NodeId heaviest = nodes.front();
+  VDur heaviest_sev = VDur::zero();
+  for (NodeId n : nodes) {
+    const VDur sev = result.cube.node_total(prop, n);
+    os << "    " << pad_right(result.profile.path_string(n, trace), 52)
+       << pad_left(sev.str(), 12) << percent_of(sev, result.total_time)
+       << "\n";
+    if (sev > heaviest_sev) {
+      heaviest_sev = sev;
+      heaviest = n;
+    }
+  }
+  os << "  locations of '" << result.profile.path_string(heaviest, trace)
+     << "':\n";
+  const auto locs = result.cube.locations_of(prop, heaviest);
+  for (std::size_t l = 0; l < locs.size(); ++l) {
+    if (locs[l] <= VDur::zero()) continue;
+    os << "    " << pad_right(trace.location(
+                                  static_cast<trace::LocId>(l)).name, 24)
+       << pad_left(locs[l].str(), 12) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_findings(const AnalysisResult& result,
+                            const trace::Trace& trace) {
+  std::ostringstream os;
+  os << pad_right("finding", 30) << pad_left("severity", 12)
+     << pad_left("share", 8) << "  dominant call path\n"
+     << repeat('-', 92) << "\n";
+  if (result.findings.empty()) {
+    os << "(no performance property above threshold — well-tuned)\n";
+    return os.str();
+  }
+  for (const auto& f : result.findings) {
+    os << pad_right(analyze::property_name(f.prop), 30)
+       << pad_left(f.severity.str(), 12)
+       << pad_left(fmt_percent(f.fraction, 1), 8) << "  "
+       << result.profile.path_string(f.node, trace) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_analysis(const AnalysisResult& result,
+                            const trace::Trace& trace) {
+  std::ostringstream os;
+  os << "=== automatic analysis (" << trace.location_count()
+     << " locations, total time " << result.total_time.str() << ") ===\n\n";
+  os << render_property_tree(result, trace) << "\n";
+  os << render_findings(result, trace) << "\n";
+  for (const auto& f : result.findings) {
+    os << render_property_detail(result, trace, f.prop) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_profile(const AnalysisResult& result,
+                           const trace::Trace& trace, int max_depth) {
+  std::ostringstream os;
+  os << pad_right("call path", 46) << pad_left("visits", 9)
+     << pad_left("incl", 12) << pad_left("excl", 12) << "\n"
+     << repeat('-', 79) << "\n";
+  result.profile.preorder([&](NodeId n, int depth) {
+    if (depth > max_depth) return;
+    if (n == analyze::kRootNode) return;
+    std::string label = repeat(' ', static_cast<std::size_t>(2 * (depth - 1)));
+    label += result.profile.name_of(n, trace);
+    os << pad_right(label, 46)
+       << pad_left(std::to_string(result.profile.visits_total(n)), 9)
+       << pad_left(result.profile.inclusive_total(n).str(), 12)
+       << pad_left(result.profile.exclusive_total(n).str(), 12) << "\n";
+  });
+  return os.str();
+}
+
+std::string severity_csv(const AnalysisResult& result,
+                         const trace::Trace& trace) {
+  std::ostringstream os;
+  os << "property,call_path,location,severity_sec\n";
+  for (PropertyId p : analyze::property_preorder()) {
+    for (NodeId n : result.cube.nodes_of(p)) {
+      const auto locs = result.cube.locations_of(p, n);
+      for (std::size_t l = 0; l < locs.size(); ++l) {
+        if (locs[l] <= VDur::zero()) continue;
+        os << analyze::property_name(p) << ","
+           << result.profile.path_string(n, trace) << ","
+           << trace.location(static_cast<trace::LocId>(l)).name << ","
+           << fmt_double(locs[l].sec(), 9) << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ats::report

@@ -1,0 +1,107 @@
+#include "report/cube_xml.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/strutil.hpp"
+
+namespace ats::report {
+
+namespace {
+
+using analyze::AnalysisResult;
+using analyze::NodeId;
+using analyze::PropertyId;
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void write_metric(std::ostream& os, PropertyId p, int indent) {
+  const auto& info = analyze::property_info(p);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "<metric id=\"" << static_cast<int>(p) << "\" name=\""
+     << xml_escape(info.name) << "\" waitstate=\""
+     << (info.is_waitstate ? 1 : 0) << "\">\n";
+  os << pad << "  <descr>" << xml_escape(info.description) << "</descr>\n";
+  for (PropertyId c : analyze::property_children(p)) {
+    write_metric(os, c, indent + 2);
+  }
+  os << pad << "</metric>\n";
+}
+
+void write_cnode(std::ostream& os, const AnalysisResult& result,
+                 const trace::Trace& trace, NodeId n, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "<cnode id=\"" << n << "\" name=\""
+     << xml_escape(result.profile.name_of(n, trace)) << "\">\n";
+  for (NodeId c : result.profile.node(n).children) {
+    write_cnode(os, result, trace, c, indent + 2);
+  }
+  os << pad << "</cnode>\n";
+}
+
+}  // namespace
+
+void write_cube_xml(std::ostream& os, const AnalysisResult& result,
+                    const trace::Trace& trace) {
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << "<cube version=\"ats-1.0\">\n";
+
+  os << " <metrics>\n";
+  write_metric(os, PropertyId::kTotal, 2);
+  os << " </metrics>\n";
+
+  os << " <program>\n";
+  write_cnode(os, result, trace, analyze::kRootNode, 2);
+  os << " </program>\n";
+
+  os << " <system>\n";
+  for (std::size_t l = 0; l < trace.location_count(); ++l) {
+    const auto& info = trace.location(static_cast<trace::LocId>(l));
+    os << "  <location id=\"" << info.id << "\" kind=\""
+       << (info.kind == trace::LocKind::kProcess ? "process" : "thread")
+       << "\" rank=\"" << info.rank << "\" thread=\"" << info.thread
+       << "\" name=\"" << xml_escape(info.name) << "\"/>\n";
+  }
+  os << " </system>\n";
+
+  os << " <severity>\n";
+  for (PropertyId p : analyze::property_preorder()) {
+    const auto nodes = result.cube.nodes_of(p);
+    if (nodes.empty()) continue;
+    os << "  <matrix metric=\"" << static_cast<int>(p) << "\">\n";
+    for (NodeId n : nodes) {
+      const auto locs = result.cube.locations_of(p, n);
+      os << "   <row cnode=\"" << n << "\">";
+      for (std::size_t l = 0; l < locs.size(); ++l) {
+        if (l != 0) os << ' ';
+        os << fmt_double(locs[l].sec(), 9);
+      }
+      os << "</row>\n";
+    }
+    os << "  </matrix>\n";
+  }
+  os << " </severity>\n";
+  os << "</cube>\n";
+}
+
+std::string cube_xml(const AnalysisResult& result,
+                     const trace::Trace& trace) {
+  std::ostringstream os;
+  write_cube_xml(os, result, trace);
+  return os.str();
+}
+
+}  // namespace ats::report

@@ -1,0 +1,26 @@
+// CUBE-style XML export of an analysis result.
+//
+// EXPERT's result format evolved into the CUBE profile format: three
+// dimensions (metrics = performance properties, program = call tree,
+// system = processes/threads) plus a severity matrix.  This writer emits a
+// structurally equivalent XML document so results of the simulated tool
+// chain can be inspected/post-processed with generic tooling.  The format
+// is self-describing, not byte-compatible with any specific CUBE version.
+#pragma once
+
+#include <iosfwd>
+
+#include "analyzer/analyzer.hpp"
+#include "trace/trace.hpp"
+
+namespace ats::report {
+
+/// Writes the full (property x call path x location) cube as XML.
+void write_cube_xml(std::ostream& os, const analyze::AnalysisResult& result,
+                    const trace::Trace& trace);
+
+/// Convenience: render into a string.
+std::string cube_xml(const analyze::AnalysisResult& result,
+                     const trace::Trace& trace);
+
+}  // namespace ats::report

@@ -1,0 +1,208 @@
+#include "report/timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strutil.hpp"
+
+namespace ats::report {
+
+char glyph_for(trace::RegionKind kind) {
+  switch (kind) {
+    case trace::RegionKind::kUser: return '-';
+    case trace::RegionKind::kWork: return '#';
+    case trace::RegionKind::kMpiP2P: return 'p';
+    case trace::RegionKind::kMpiColl: return 'C';
+    case trace::RegionKind::kMpiOther: return 'i';
+    case trace::RegionKind::kOmpParallel: return 'o';
+    case trace::RegionKind::kOmpWork: return 'w';
+    case trace::RegionKind::kOmpSync: return 'b';
+    case trace::RegionKind::kIdle: return '.';
+  }
+  return '?';
+}
+
+std::string timeline_legend() {
+  return "legend: '#' work  'p' MPI p2p  'C' MPI collective  'i' MPI "
+         "init/mgmt  'o' omp region\n        'w' omp worksharing  'b' omp "
+         "sync  '-' user code  ' ' not active";
+}
+
+namespace {
+
+struct Interval {
+  VTime begin;
+  VTime end;
+  trace::RegionKind kind;
+};
+
+/// Flattens a location's enter/exit events into innermost-region intervals.
+std::vector<Interval> intervals_of(const trace::Trace& trace,
+                                   trace::LocId loc) {
+  std::vector<Interval> out;
+  std::vector<trace::RegionId> stack;
+  VTime cursor;
+  bool started = false;
+  auto emit = [&](VTime upto) {
+    if (!started || upto <= cursor) return;
+    const trace::RegionKind kind =
+        stack.empty() ? trace::RegionKind::kIdle
+                      : trace.regions().info(stack.back()).kind;
+    if (!out.empty() && out.back().kind == kind &&
+        out.back().end == cursor) {
+      out.back().end = upto;
+    } else {
+      out.push_back({cursor, upto, kind});
+    }
+  };
+  for (const trace::Event& e : trace.events_of(loc)) {
+    if (!started) {
+      cursor = e.t;
+      started = true;
+    }
+    switch (e.type) {
+      case trace::EventType::kEnter:
+        emit(e.t);
+        cursor = e.t;
+        stack.push_back(e.region);
+        break;
+      case trace::EventType::kExit:
+        emit(e.t);
+        cursor = e.t;
+        if (!stack.empty()) stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_timeline(const trace::Trace& trace,
+                            const TimelineOptions& options) {
+  require(options.width >= 10, "render_timeline: width too small");
+  const VTime begin =
+      options.t1 > options.t0 ? options.t0 : trace.begin_time();
+  const VTime end = options.t1 > options.t0 ? options.t1 : trace.end_time();
+  std::ostringstream os;
+  if (end <= begin) {
+    os << "(empty trace)\n";
+    return os.str();
+  }
+  const std::int64_t span = (end - begin).ns();
+  const int width = options.width;
+
+  // Label column width.
+  std::size_t label_w = 8;
+  for (std::size_t l = 0; l < trace.location_count(); ++l) {
+    label_w = std::max(label_w,
+                       trace.location(static_cast<trace::LocId>(l))
+                           .name.size());
+  }
+  label_w = std::min<std::size_t>(label_w, 24);
+
+  // Header with the time axis.
+  os << pad_right("", label_w) << " " << VTime(begin.ns()).str()
+     << repeat(' ',
+               static_cast<std::size_t>(std::max(0, width - 24)))
+     << end.str() << "\n";
+  os << pad_right("", label_w) << " |" << repeat('-', width - 2) << "|\n";
+
+  for (std::size_t l = 0; l < trace.location_count(); ++l) {
+    const auto loc = static_cast<trace::LocId>(l);
+    const auto ivs = intervals_of(trace, loc);
+    std::string lane(static_cast<std::size_t>(width), ' ');
+    // For every bin pick the kind covering the most time.
+    for (int b = 0; b < width; ++b) {
+      const VTime bin_lo = begin + VDur(span * b / width);
+      const VTime bin_hi = begin + VDur(span * (b + 1) / width);
+      std::array<std::int64_t, 9> cover{};
+      for (const Interval& iv : ivs) {
+        const VTime lo = later(iv.begin, bin_lo);
+        const VTime hi = earlier(iv.end, bin_hi);
+        if (hi > lo) {
+          cover[static_cast<std::size_t>(iv.kind)] += (hi - lo).ns();
+        }
+      }
+      std::int64_t best = 0;
+      int best_kind = -1;
+      for (std::size_t k = 0; k < cover.size(); ++k) {
+        if (cover[k] > best) {
+          best = cover[k];
+          best_kind = static_cast<int>(k);
+        }
+      }
+      if (best_kind >= 0) {
+        lane[static_cast<std::size_t>(b)] =
+            glyph_for(static_cast<trace::RegionKind>(best_kind));
+      }
+    }
+    os << pad_right(trace.location(loc).name, label_w) << " " << lane
+       << "\n";
+  }
+  if (options.legend) os << "\n" << timeline_legend() << "\n";
+  return os.str();
+}
+
+std::string render_location_summary(const trace::Trace& trace) {
+  std::ostringstream os;
+  os << pad_right("location", 22) << pad_left("events", 9)
+     << pad_left("span", 12) << pad_left("work", 12) << pad_left("mpi", 12)
+     << pad_left("omp", 12) << "\n";
+  os << repeat('-', 79) << "\n";
+  for (std::size_t l = 0; l < trace.location_count(); ++l) {
+    const auto loc = static_cast<trace::LocId>(l);
+    const auto& events = trace.events_of(loc);
+    VDur work = VDur::zero(), mpi = VDur::zero(), omp = VDur::zero();
+    // Innermost-interval walk (same as the timeline).
+    std::vector<trace::RegionId> stack;
+    VTime cursor;
+    bool started = false;
+    auto account = [&](VTime upto) {
+      if (!started || stack.empty() || upto <= cursor) return;
+      const trace::RegionKind kind =
+          trace.regions().info(stack.back()).kind;
+      const VDur d = upto - cursor;
+      switch (kind) {
+        case trace::RegionKind::kWork: work += d; break;
+        case trace::RegionKind::kMpiP2P:
+        case trace::RegionKind::kMpiColl:
+        case trace::RegionKind::kMpiOther: mpi += d; break;
+        case trace::RegionKind::kOmpParallel:
+        case trace::RegionKind::kOmpWork:
+        case trace::RegionKind::kOmpSync: omp += d; break;
+        default: break;
+      }
+    };
+    for (const trace::Event& e : events) {
+      if (!started) {
+        cursor = e.t;
+        started = true;
+      }
+      if (e.type == trace::EventType::kEnter) {
+        account(e.t);
+        cursor = e.t;
+        stack.push_back(e.region);
+      } else if (e.type == trace::EventType::kExit) {
+        account(e.t);
+        cursor = e.t;
+        if (!stack.empty()) stack.pop_back();
+      }
+    }
+    const VDur span = events.empty()
+                          ? VDur::zero()
+                          : events.back().t - events.front().t;
+    os << pad_right(trace.location(loc).name, 22)
+       << pad_left(std::to_string(events.size()), 9)
+       << pad_left(span.str(), 12) << pad_left(work.str(), 12)
+       << pad_left(mpi.str(), 12) << pad_left(omp.str(), 12) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ats::report

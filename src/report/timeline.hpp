@@ -1,0 +1,41 @@
+// ASCII timeline rendering (the library's Vampir substitute).
+//
+// Figures 3.2–3.4 of the paper use Vampir timeline displays to show the
+// structure the synthetic programs inject.  render_timeline draws the same
+// information as text: one lane per location, rasterised into fixed-width
+// character bins, where each bin shows the region class that covers most of
+// it.  Work phases, MPI calls, OpenMP constructs and idle time are visually
+// distinct, so the alternating compute/communicate phases and their
+// imbalance are directly visible in a terminal.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ats::report {
+
+struct TimelineOptions {
+  /// Characters available for the time axis.
+  int width = 100;
+  /// Print the glyph legend under the timeline.
+  bool legend = true;
+  /// Restrict rendering to [t0, t1]; zeros mean the full trace extent.
+  VTime t0{};
+  VTime t1{};
+};
+
+/// Glyph used for a region class in the timeline.
+char glyph_for(trace::RegionKind kind);
+/// Glyph legend text.
+std::string timeline_legend();
+
+/// Renders the whole trace as one lane per location.
+std::string render_timeline(const trace::Trace& trace,
+                            const TimelineOptions& options = {});
+
+/// Renders a per-location state summary table: total time and time per
+/// region class (work/MPI/OpenMP), plus event counts.
+std::string render_location_summary(const trace::Trace& trace);
+
+}  // namespace ats::report

@@ -1,0 +1,354 @@
+#include "simt/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ats::simt {
+
+const char* to_string(LocationState s) {
+  switch (s) {
+    case LocationState::kRunnable: return "runnable";
+    case LocationState::kRunning: return "running";
+    case LocationState::kBlocked: return "blocked";
+    case LocationState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- Context
+
+const std::string& Context::name() const {
+  return engine_->locations_[static_cast<std::size_t>(id_)]->name;
+}
+
+VTime Context::now() const {
+  return engine_->locations_[static_cast<std::size_t>(id_)]->now;
+}
+
+Rng& Context::rng() {
+  return *engine_->locations_[static_cast<std::size_t>(id_)]->rng;
+}
+
+void Context::advance(VDur d) {
+  if (d.is_negative()) {
+    throw UsageError("Context::advance: negative duration");
+  }
+  {
+    std::unique_lock lk(engine_->mu_);
+    engine_->locations_[static_cast<std::size_t>(id_)]->now += d;
+  }
+  yield();
+}
+
+void Context::advance_to(VTime t) {
+  advance(non_negative(t - now()));
+}
+
+void Context::yield() {
+  Engine::Location* loc =
+      engine_->locations_[static_cast<std::size_t>(id_)].get();
+  std::unique_lock lk(engine_->mu_);
+  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+  if (engine_->token_ != id_) {
+    throw UsageError("Context::yield called by a location without the token");
+  }
+  ++engine_->stats_.yields;
+  loc->state = LocationState::kRunnable;
+  engine_->token_ = kNoLocation;
+  engine_->cv_.notify_all();
+  engine_->cv_.wait(
+      lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
+  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+  loc->state = LocationState::kRunning;
+}
+
+void Context::block(const char* reason) {
+  Engine::Location* loc =
+      engine_->locations_[static_cast<std::size_t>(id_)].get();
+  std::unique_lock lk(engine_->mu_);
+  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+  if (engine_->token_ != id_) {
+    throw UsageError("Context::block called by a location without the token");
+  }
+  ++engine_->stats_.blocks;
+  loc->state = LocationState::kBlocked;
+  loc->block_reason = reason;
+  engine_->token_ = kNoLocation;
+  engine_->cv_.notify_all();
+  // Wait until some other location wakes us (making us runnable) *and* the
+  // scheduler hands us the token.
+  engine_->cv_.wait(
+      lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
+  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+  loc->state = LocationState::kRunning;
+  loc->block_reason = "";
+}
+
+std::vector<LocationId> Context::spawn(
+    std::span<const std::pair<std::string, LocationBody>> children) {
+  std::vector<LocationId> ids;
+  ids.reserve(children.size());
+  std::unique_lock lk(engine_->mu_);
+  if (engine_->token_ != id_) {
+    throw UsageError("Context::spawn called by a location without the token");
+  }
+  const VTime start =
+      engine_->locations_[static_cast<std::size_t>(id_)]->now;
+  for (const auto& [child_name, child_body] : children) {
+    ids.push_back(
+        engine_->spawn_internal(child_name, child_body, id_, start));
+  }
+  return ids;
+}
+
+void Context::join(std::span<const LocationId> children) {
+  Engine::Location* loc =
+      engine_->locations_[static_cast<std::size_t>(id_)].get();
+  for (;;) {
+    {
+      std::unique_lock lk(engine_->mu_);
+      if (engine_->token_ != id_) {
+        throw UsageError(
+            "Context::join called by a location without the token");
+      }
+      bool all_finished = true;
+      VTime latest = loc->now;
+      for (LocationId c : children) {
+        const auto& child = *engine_->locations_[static_cast<std::size_t>(c)];
+        if (child.state != LocationState::kFinished) {
+          all_finished = false;
+          break;
+        }
+        latest = later(latest, child.now);
+      }
+      if (all_finished) {
+        loc->now = latest;
+        return;
+      }
+      loc->joining.assign(children.begin(), children.end());
+    }
+    block("join");
+  }
+}
+
+// ----------------------------------------------------------------- Engine
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+Engine::~Engine() {
+  // Normal completion joins in run(); this path covers engines that were
+  // never run (or whose run() threw after joining).  Unwind any parked
+  // threads so the process can exit cleanly.
+  {
+    std::unique_lock lk(mu_);
+    poisoned_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return finished_count_ == locations_.size(); });
+  }
+  for (auto& loc : locations_) {
+    if (loc->thread.joinable()) loc->thread.join();
+  }
+}
+
+LocationId Engine::add_location(std::string name, LocationBody body) {
+  std::unique_lock lk(mu_);
+  if (started_) {
+    throw UsageError(
+        "Engine::add_location after run(); use Context::spawn instead");
+  }
+  return spawn_internal(std::move(name), std::move(body), kNoLocation,
+                        VTime::zero());
+}
+
+LocationId Engine::spawn_internal(std::string name, LocationBody body,
+                                  LocationId parent, VTime start) {
+  // Caller holds mu_ (or the engine has not started yet).
+  if (locations_.size() >= options_.max_locations) {
+    throw UsageError("Engine: location limit exceeded (" +
+                     std::to_string(options_.max_locations) + ")");
+  }
+  const LocationId id = static_cast<LocationId>(locations_.size());
+  auto loc = std::make_unique<Location>();
+  loc->id = id;
+  loc->parent = parent;
+  loc->name = std::move(name);
+  loc->body = std::move(body);
+  loc->state = LocationState::kRunnable;
+  loc->now = start;
+  loc->context = std::unique_ptr<Context>(new Context(this, id));
+  loc->rng = std::make_unique<Rng>(options_.seed,
+                                   static_cast<std::uint64_t>(id));
+  Location* raw = loc.get();
+  locations_.push_back(std::move(loc));
+  ++stats_.spawns;
+  raw->thread = std::thread([this, raw] { thread_main(raw); });
+  return id;
+}
+
+void Engine::thread_main(Location* loc) {
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return token_ == loc->id || poisoned_; });
+    if (poisoned_) {
+      loc->state = LocationState::kFinished;
+      ++finished_count_;
+      cv_.notify_all();
+      return;
+    }
+    loc->state = LocationState::kRunning;
+  }
+  try {
+    loc->body(*loc->context);
+  } catch (ShutdownSignal) {
+    // Unwound during engine shutdown; not an error.
+  } catch (...) {
+    loc->error = std::current_exception();
+  }
+  std::unique_lock lk(mu_);
+  loc->state = LocationState::kFinished;
+  ++finished_count_;
+  maybe_wake_joiners(loc);
+  if (token_ == loc->id) token_ = kNoLocation;
+  cv_.notify_all();
+}
+
+void Engine::maybe_wake_joiners(Location* finished) {
+  // Caller holds mu_.  A joiner whose whole join set is now finished becomes
+  // runnable with its clock advanced to the latest child end time.
+  for (auto& l : locations_) {
+    if (l->state != LocationState::kBlocked || l->joining.empty()) continue;
+    if (std::find(l->joining.begin(), l->joining.end(), finished->id) ==
+        l->joining.end()) {
+      continue;
+    }
+    bool all = true;
+    VTime latest = l->now;
+    for (LocationId c : l->joining) {
+      const auto& child = *locations_[static_cast<std::size_t>(c)];
+      if (child.state != LocationState::kFinished) {
+        all = false;
+        break;
+      }
+      latest = later(latest, child.now);
+    }
+    if (all) {
+      l->now = latest;
+      l->joining.clear();
+      l->state = LocationState::kRunnable;
+      ++stats_.wakes;
+    }
+  }
+}
+
+Engine::Location* Engine::pick_next() {
+  // Caller holds mu_.  Minimum (clock, id) over runnable locations.
+  Location* best = nullptr;
+  for (auto& l : locations_) {
+    if (l->state != LocationState::kRunnable) continue;
+    if (best == nullptr || l->now < best->now) best = l.get();
+  }
+  return best;
+}
+
+void Engine::run() {
+  std::unique_lock lk(mu_);
+  if (started_) throw UsageError("Engine::run called twice");
+  started_ = true;
+  std::exception_ptr first_error;
+  std::string deadlock;
+  while (true) {
+    for (auto& l : locations_) {
+      if (l->error) {
+        first_error = l->error;
+        break;
+      }
+    }
+    if (first_error) break;
+    if (finished_count_ == locations_.size()) break;
+    Location* next = pick_next();
+    if (next == nullptr) {
+      deadlock = deadlock_dump();
+      break;
+    }
+    token_ = next->id;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return token_ == kNoLocation; });
+  }
+  // Shut down any still-parked or blocked locations.
+  poisoned_ = true;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return finished_count_ == locations_.size(); });
+  lk.unlock();
+  for (auto& loc : locations_) {
+    if (loc->thread.joinable()) loc->thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  if (!deadlock.empty()) throw DeadlockError(deadlock);
+}
+
+std::string Engine::deadlock_dump() const {
+  // Caller holds mu_.
+  std::ostringstream os;
+  os << "simulated deadlock: all unfinished locations are blocked\n";
+  for (const auto& l : locations_) {
+    os << "  [" << l->id << "] " << l->name << ": " << to_string(l->state)
+       << " at " << l->now.str();
+    if (l->state == LocationState::kBlocked) os << " (" << l->block_reason
+                                                << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Engine::wake(LocationId id, VTime not_before) {
+  std::unique_lock lk(mu_);
+  Location* loc = locations_.at(static_cast<std::size_t>(id)).get();
+  if (loc->state != LocationState::kBlocked) {
+    throw UsageError("Engine::wake: location " + std::to_string(id) + " (" +
+                     loc->name + ") is not blocked but " +
+                     to_string(loc->state));
+  }
+  loc->now = later(loc->now, not_before);
+  loc->state = LocationState::kRunnable;
+  ++stats_.wakes;
+}
+
+std::size_t Engine::location_count() const {
+  std::unique_lock lk(mu_);
+  return locations_.size();
+}
+
+VTime Engine::end_time_of(LocationId id) const {
+  std::unique_lock lk(mu_);
+  return locations_.at(static_cast<std::size_t>(id))->now;
+}
+
+const std::string& Engine::name_of(LocationId id) const {
+  std::unique_lock lk(mu_);
+  return locations_.at(static_cast<std::size_t>(id))->name;
+}
+
+LocationId Engine::parent_of(LocationId id) const {
+  std::unique_lock lk(mu_);
+  return locations_.at(static_cast<std::size_t>(id))->parent;
+}
+
+VTime Engine::now_of(LocationId id) const {
+  std::unique_lock lk(mu_);
+  return locations_.at(static_cast<std::size_t>(id))->now;
+}
+
+bool Engine::is_blocked(LocationId id) const {
+  std::unique_lock lk(mu_);
+  return locations_.at(static_cast<std::size_t>(id))->state ==
+         LocationState::kBlocked;
+}
+
+VTime Engine::horizon() const {
+  std::unique_lock lk(mu_);
+  VTime h = VTime::zero();
+  for (const auto& l : locations_) h = later(h, l->now);
+  return h;
+}
+
+}  // namespace ats::simt

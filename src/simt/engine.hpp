@@ -1,0 +1,212 @@
+// Deterministic discrete-event execution engine ("simt").
+//
+// The engine runs a set of *locations* — simulated processes or threads,
+// each backed by one OS thread — under a token-passing scheduler: exactly
+// one location executes at any moment, and the scheduler always resumes the
+// runnable location with the smallest virtual clock (ties broken by id).
+// Locations yield the token at every simulated primitive (work advance,
+// message operation, barrier), so all externally visible operations execute
+// in global virtual-time order.  Consequences:
+//
+//  * runs are bit-deterministic regardless of host core count,
+//  * shared runtime state (message queues, barrier counters) needs no locks
+//    because access is serialised by the token,
+//  * simulated waiting costs no host CPU: a blocked location's clock jumps
+//    forward when it is woken.
+//
+// This is the substrate on which mpisim and ompsim implement MPI-like and
+// OpenMP-like semantics.  It replaces the real parallel machine of the ATS
+// paper with an exact, laptop-scale equivalent (see DESIGN.md §2).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/vtime.hpp"
+
+namespace ats::simt {
+
+/// Index of a location within its engine (dense, starting at zero).
+using LocationId = std::int32_t;
+inline constexpr LocationId kNoLocation = -1;
+
+class Engine;
+class Context;
+
+/// A location's body: runs on its own OS thread under the engine token.
+using LocationBody = std::function<void(Context&)>;
+
+enum class LocationState : std::uint8_t {
+  kRunnable,  ///< waiting to be scheduled
+  kRunning,   ///< currently holds the token
+  kBlocked,   ///< waiting for an explicit wake()
+  kFinished,  ///< body returned (or unwound)
+};
+
+const char* to_string(LocationState s);
+
+struct EngineOptions {
+  /// Seed for the per-location deterministic RNG streams.
+  std::uint64_t seed = 0x415453;  // "ATS"
+  /// Hard cap on locations, as a runaway-fork backstop.
+  std::size_t max_locations = 4096;
+};
+
+struct EngineStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t wakes = 0;
+};
+
+/// Handle passed to a location body; the only way a body interacts with
+/// simulated time and the scheduler.  Valid only on the owning location's
+/// thread while that location holds the token.
+class Context {
+ public:
+  LocationId id() const { return id_; }
+  const std::string& name() const;
+  VTime now() const;
+  Engine& engine() { return *engine_; }
+  /// Deterministic per-location random stream (see common/rng.hpp).
+  Rng& rng();
+
+  /// Simulated computation: advances the local clock by `d`, then yields so
+  /// the engine preserves global time order.  `d` must be non-negative.
+  void advance(VDur d);
+
+  /// Advances the local clock to `t` if `t` is in the future; no-op (plus a
+  /// yield) otherwise.
+  void advance_to(VTime t);
+
+  /// Yields the token without advancing the clock.  Runtime layers call
+  /// this before touching shared state so that all locations with earlier
+  /// clocks act first.
+  void yield();
+
+  /// Blocks until another location calls Engine::wake() on this location.
+  /// On return the local clock has been advanced to the wake time (if that
+  /// is later).  `reason` appears in deadlock dumps.
+  void block(const char* reason);
+
+  /// Spawns child locations starting at the current local clock.  The
+  /// children become runnable; the caller keeps the token until it yields.
+  std::vector<LocationId> spawn(
+      std::span<const std::pair<std::string, LocationBody>> children);
+
+  /// Blocks until every listed location has finished, then advances the
+  /// local clock to the latest of their end times.
+  void join(std::span<const LocationId> children);
+
+ private:
+  friend class Engine;
+  Context(Engine* engine, LocationId id) : engine_(engine), id_(id) {}
+
+  Engine* engine_;
+  LocationId id_;
+};
+
+/// The discrete-event engine.  Typical use:
+///
+///   Engine eng;
+///   eng.add_location("rank 0", [](Context& c) { c.advance(VDur::millis(5)); });
+///   eng.add_location("rank 1", [](Context& c) { ... });
+///   eng.run();
+///
+/// run() returns when every location finished; it throws DeadlockError when
+/// all unfinished locations are blocked, and rethrows the first exception
+/// (in virtual-time order) escaping a location body.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Adds a top-level location (before run()).  Returns its id; ids are
+  /// assigned densely in spawn order.
+  LocationId add_location(std::string name, LocationBody body);
+
+  /// Runs the simulation to completion.  May be called exactly once.
+  void run();
+
+  // --- introspection (valid after run(), or for finished locations) ---
+  std::size_t location_count() const;
+  VTime end_time_of(LocationId id) const;
+  const std::string& name_of(LocationId id) const;
+  LocationId parent_of(LocationId id) const;
+  const EngineStats& stats() const { return stats_; }
+  /// Latest clock over all locations (after run(): makespan).
+  VTime horizon() const;
+
+  // --- services for runtime layers; call only from the running location ---
+
+  /// Makes `id` runnable with clock at least `not_before`.  `id` must be
+  /// blocked.  Called by the token holder (e.g. a sender waking a receiver).
+  void wake(LocationId id, VTime not_before);
+
+  /// Clock of an arbitrary location (token holder only).
+  VTime now_of(LocationId id) const;
+
+  /// True if `id` is blocked (token holder only).
+  bool is_blocked(LocationId id) const;
+
+ private:
+  friend class Context;
+
+  struct Location {
+    LocationId id = kNoLocation;
+    LocationId parent = kNoLocation;
+    std::string name;
+    LocationBody body;
+    LocationState state = LocationState::kRunnable;
+    const char* block_reason = "";
+    VTime now;
+    std::thread thread;
+    std::exception_ptr error;
+    std::unique_ptr<Context> context;
+    std::unique_ptr<Rng> rng;
+    // join bookkeeping: set while blocked in Context::join()
+    std::vector<LocationId> joining;
+  };
+
+  LocationId spawn_internal(std::string name, LocationBody body,
+                            LocationId parent, VTime start);
+  void thread_main(Location* loc);
+  void handoff_to_scheduler(Location* loc);  // called on location thread
+  void wait_for_token(Location* loc);        // called on location thread
+  Location* pick_next();                     // scheduler: min (time, id)
+  void resume(Location* loc);                // scheduler side
+  std::string deadlock_dump() const;
+  void poison_all_blocked();
+  void check_running(const char* api) const;
+  void maybe_wake_joiners(Location* finished);
+
+  // Thrown through blocked locations to unwind them during shutdown.
+  struct ShutdownSignal {};
+
+  EngineOptions options_;
+  EngineStats stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  LocationId token_ = kNoLocation;   // which location may run; kNoLocation =
+                                     // scheduler's turn
+  bool started_ = false;
+  bool poisoned_ = false;
+  std::vector<std::unique_ptr<Location>> locations_;
+  std::size_t finished_count_ = 0;
+};
+
+}  // namespace ats::simt

@@ -1,0 +1,299 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ats::trace {
+
+const char* to_string(RegionKind k) {
+  switch (k) {
+    case RegionKind::kUser: return "user";
+    case RegionKind::kWork: return "work";
+    case RegionKind::kMpiP2P: return "mpi_p2p";
+    case RegionKind::kMpiColl: return "mpi_coll";
+    case RegionKind::kMpiOther: return "mpi_other";
+    case RegionKind::kOmpParallel: return "omp_parallel";
+    case RegionKind::kOmpWork: return "omp_work";
+    case RegionKind::kOmpSync: return "omp_sync";
+    case RegionKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+RegionKind region_kind_from_string(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(RegionKind::kIdle); ++k) {
+    const auto kind = static_cast<RegionKind>(k);
+    if (s == to_string(kind)) return kind;
+  }
+  throw TraceError("unknown region kind: " + s);
+}
+
+const char* to_string(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kScatter: return "scatter";
+    case CollOp::kScatterv: return "scatterv";
+    case CollOp::kGather: return "gather";
+    case CollOp::kGatherv: return "gatherv";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kAlltoall: return "alltoall";
+    case CollOp::kAllgather: return "allgather";
+    case CollOp::kScan: return "scan";
+    case CollOp::kReduceScatter: return "reduce_scatter";
+    case CollOp::kCommSplit: return "comm_split";
+    case CollOp::kCommDup: return "comm_dup";
+    case CollOp::kOmpBarrier: return "omp_barrier";
+    case CollOp::kOmpIBarrier: return "omp_ibarrier";
+  }
+  return "?";
+}
+
+CollOp coll_op_from_string(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(CollOp::kOmpIBarrier); ++k) {
+    const auto op = static_cast<CollOp>(k);
+    if (s == to_string(op)) return op;
+  }
+  throw TraceError("unknown collective op: " + s);
+}
+
+bool is_root_sink(CollOp op) {
+  return op == CollOp::kReduce || op == CollOp::kGather ||
+         op == CollOp::kGatherv;
+}
+
+bool is_root_source(CollOp op) {
+  return op == CollOp::kBcast || op == CollOp::kScatter ||
+         op == CollOp::kScatterv;
+}
+
+bool is_all_to_all(CollOp op) {
+  return op == CollOp::kBarrier || op == CollOp::kAllreduce ||
+         op == CollOp::kAlltoall || op == CollOp::kAllgather ||
+         op == CollOp::kScan || op == CollOp::kReduceScatter ||
+         op == CollOp::kCommSplit ||
+         op == CollOp::kCommDup || op == CollOp::kOmpBarrier ||
+         op == CollOp::kOmpIBarrier;
+}
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kEnter: return "enter";
+    case EventType::kExit: return "exit";
+    case EventType::kSend: return "send";
+    case EventType::kRecv: return "recv";
+    case EventType::kCollEnd: return "coll_end";
+    case EventType::kLockAcquire: return "lock_acquire";
+    case EventType::kLockRelease: return "lock_release";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------- RegionRegistry
+
+RegionId RegionRegistry::intern(const std::string& name, RegionKind kind) {
+  for (const auto& r : regions_) {
+    if (r.name == name) {
+      if (r.kind != kind) {
+        throw TraceError("region '" + name + "' re-interned with kind " +
+                         std::string(to_string(kind)) + " (was " +
+                         to_string(r.kind) + ")");
+      }
+      return r.id;
+    }
+  }
+  RegionInfo info;
+  info.id = static_cast<RegionId>(regions_.size());
+  info.kind = kind;
+  info.name = name;
+  regions_.push_back(std::move(info));
+  return regions_.back().id;
+}
+
+const RegionInfo& RegionRegistry::info(RegionId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= regions_.size()) {
+    throw TraceError("unknown region id " + std::to_string(id));
+  }
+  return regions_[static_cast<std::size_t>(id)];
+}
+
+RegionId RegionRegistry::find(const std::string& name) const {
+  for (const auto& r : regions_) {
+    if (r.name == name) return r.id;
+  }
+  return kNone;
+}
+
+// ------------------------------------------------------------------ Trace
+
+void Trace::add_location(LocationInfo info) {
+  if (info.id != static_cast<LocId>(locations_.size())) {
+    throw TraceError("locations must be added densely in id order (got " +
+                     std::to_string(info.id) + ", expected " +
+                     std::to_string(locations_.size()) + ")");
+  }
+  locations_.push_back(std::move(info));
+  per_loc_.emplace_back();
+}
+
+CommId Trace::add_comm(CommKind kind, std::vector<LocId> members,
+                       std::string name) {
+  CommInfo info;
+  info.id = static_cast<CommId>(comms_.size());
+  info.kind = kind;
+  info.members = std::move(members);
+  info.name = std::move(name);
+  comms_.push_back(std::move(info));
+  return comms_.back().id;
+}
+
+const LocationInfo& Trace::location(LocId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= locations_.size()) {
+    throw TraceError("unknown location id " + std::to_string(id));
+  }
+  return locations_[static_cast<std::size_t>(id)];
+}
+
+const CommInfo& Trace::comm(CommId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= comms_.size()) {
+    throw TraceError("unknown comm id " + std::to_string(id));
+  }
+  return comms_[static_cast<std::size_t>(id)];
+}
+
+void Trace::push(LocId loc, Event e) {
+  if (!enabled_) return;
+  if (loc < 0 || static_cast<std::size_t>(loc) >= per_loc_.size()) {
+    throw TraceError("event for unknown location " + std::to_string(loc));
+  }
+  per_loc_[static_cast<std::size_t>(loc)].push_back(e);
+}
+
+void Trace::enter(LocId loc, VTime t, RegionId region) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kEnter;
+  e.region = region;
+  push(loc, e);
+}
+
+void Trace::exit(LocId loc, VTime t, RegionId region) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kExit;
+  e.region = region;
+  push(loc, e);
+}
+
+void Trace::send(LocId loc, VTime t, LocId dst, std::int32_t tag, CommId comm,
+                 std::int64_t bytes) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kSend;
+  e.peer = dst;
+  e.tag = tag;
+  e.comm = comm;
+  e.bytes = bytes;
+  push(loc, e);
+}
+
+void Trace::recv(LocId loc, VTime t, LocId src, std::int32_t tag, CommId comm,
+                 std::int64_t bytes) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kRecv;
+  e.peer = src;
+  e.tag = tag;
+  e.comm = comm;
+  e.bytes = bytes;
+  push(loc, e);
+}
+
+void Trace::coll_end(LocId loc, VTime t, VTime enter_t, CommId comm,
+                     std::int64_t seq, CollOp op, std::int32_t root,
+                     std::int64_t bytes_in, std::int64_t bytes_out) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kCollEnd;
+  e.comm = comm;
+  e.seq = seq;
+  e.op = op;
+  e.root = root;
+  e.bytes = bytes_in;
+  e.bytes_out = bytes_out;
+  e.enter_t = enter_t;
+  push(loc, e);
+}
+
+void Trace::lock_acquire(LocId loc, VTime t, std::int32_t lock_id) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kLockAcquire;
+  e.peer = lock_id;
+  push(loc, e);
+}
+
+void Trace::lock_release(LocId loc, VTime t, std::int32_t lock_id) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kLockRelease;
+  e.peer = lock_id;
+  push(loc, e);
+}
+
+const std::vector<Event>& Trace::events_of(LocId loc) const {
+  if (loc < 0 || static_cast<std::size_t>(loc) >= per_loc_.size()) {
+    throw TraceError("unknown location id " + std::to_string(loc));
+  }
+  return per_loc_[static_cast<std::size_t>(loc)];
+}
+
+std::size_t Trace::event_count() const {
+  std::size_t n = 0;
+  for (const auto& v : per_loc_) n += v.size();
+  return n;
+}
+
+std::vector<const Event*> Trace::merged() const {
+  std::vector<const Event*> out;
+  out.reserve(event_count());
+  for (const auto& v : per_loc_) {
+    for (const auto& e : v) out.push_back(&e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->t != b->t) return a->t < b->t;
+                     return a->loc < b->loc;
+                   });
+  return out;
+}
+
+VTime Trace::end_time() const {
+  VTime t = VTime::zero();
+  for (const auto& v : per_loc_) {
+    if (!v.empty()) t = later(t, v.back().t);
+  }
+  return t;
+}
+
+VTime Trace::begin_time() const {
+  bool any = false;
+  VTime t = VTime::max();
+  for (const auto& v : per_loc_) {
+    if (!v.empty()) {
+      t = earlier(t, v.front().t);
+      any = true;
+    }
+  }
+  return any ? t : VTime::zero();
+}
+
+}  // namespace ats::trace

@@ -1,0 +1,211 @@
+// Event-trace model for ATS.
+//
+// The simulated runtimes (mpisim, ompsim) record EPILOG/OTF-style events —
+// region enter/exit, point-to-point message send/receive, per-participant
+// collective-completion records, lock acquire/release — with virtual
+// timestamps.  The analyzer consumes a Trace exactly the way an automatic
+// performance tool such as EXPERT consumes a real trace file: it sees only
+// the events, not the runtime's internal wait bookkeeping, so detection is a
+// genuine reconstruction (message matching, collective grouping, call-path
+// nesting).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/vtime.hpp"
+
+namespace ats::trace {
+
+using LocId = std::int32_t;
+using RegionId = std::int32_t;
+using CommId = std::int32_t;
+inline constexpr std::int32_t kNone = -1;
+
+/// Classification of source-code regions; drives both timeline rendering
+/// and the analyzer's time hierarchy (MPI time vs OpenMP time vs user time).
+enum class RegionKind : std::uint8_t {
+  kUser,        ///< user function / property function body
+  kWork,        ///< do_work computation
+  kMpiP2P,      ///< MPI_Send/Recv/Isend/... call
+  kMpiColl,     ///< MPI collective call
+  kMpiOther,    ///< init/finalize/comm management
+  kOmpParallel, ///< parallel region body
+  kOmpWork,     ///< worksharing construct body
+  kOmpSync,     ///< barrier / implicit barrier / critical / lock API
+  kIdle,        ///< explicitly-recorded idle period
+};
+
+const char* to_string(RegionKind k);
+RegionKind region_kind_from_string(const std::string& s);
+
+/// Collective operation tags shared by mpisim and ompsim records.
+enum class CollOp : std::uint8_t {
+  kBarrier,
+  kBcast,
+  kScatter,
+  kScatterv,
+  kGather,
+  kGatherv,
+  kReduce,
+  kAllreduce,
+  kAlltoall,
+  kAllgather,
+  kScan,
+  kReduceScatter,
+  kCommSplit,
+  kCommDup,
+  kOmpBarrier,   ///< explicit OpenMP barrier
+  kOmpIBarrier,  ///< implicit barrier at end of region/loop/sections/single
+};
+
+const char* to_string(CollOp op);
+CollOp coll_op_from_string(const std::string& s);
+
+/// True for the "root waits for all" flavour (gather-like).
+bool is_root_sink(CollOp op);
+/// True for the "all wait for root" flavour (broadcast-like).
+bool is_root_source(CollOp op);
+/// True for the "all wait for all" flavour (barrier / NxN).
+bool is_all_to_all(CollOp op);
+
+enum class EventType : std::uint8_t {
+  kEnter,
+  kExit,
+  kSend,
+  kRecv,
+  kCollEnd,
+  kLockAcquire,
+  kLockRelease,
+};
+
+const char* to_string(EventType t);
+
+/// One trace record.  Flat struct (not a variant) so serialisation and the
+/// replay loop stay simple; unused fields are kNone/zero.
+struct Event {
+  VTime t;
+  LocId loc = kNone;
+  EventType type = EventType::kEnter;
+  RegionId region = kNone;   // kEnter/kExit
+  std::int32_t peer = kNone; // kSend: destination loc; kRecv: source loc;
+                             // lock events: lock id
+  std::int32_t tag = kNone;
+  CommId comm = kNone;
+  std::int64_t bytes = 0;    // kSend/kRecv payload; kCollEnd: bytes sent
+  std::int64_t bytes_out = 0;   // kCollEnd: bytes received
+  std::int64_t seq = kNone;     // kCollEnd: collective instance number
+  CollOp op = CollOp::kBarrier; // kCollEnd
+  std::int32_t root = kNone;    // kCollEnd: root as global loc id
+  VTime enter_t;                // kCollEnd: when this participant entered
+};
+
+enum class LocKind : std::uint8_t { kProcess, kThread };
+
+/// Static description of a location (one lane in the timeline).
+struct LocationInfo {
+  LocId id = kNone;
+  LocId parent = kNone;  ///< forking location for threads; kNone for ranks
+  LocKind kind = LocKind::kProcess;
+  std::int32_t rank = kNone;    ///< MPI world rank of the owning process
+  std::int32_t thread = 0;      ///< thread number within its team (0 = master)
+  std::string name;
+};
+
+enum class CommKind : std::uint8_t { kMpiComm, kOmpTeam };
+
+/// Static description of a communicator or OpenMP team.
+struct CommInfo {
+  CommId id = kNone;
+  CommKind kind = CommKind::kMpiComm;
+  std::vector<LocId> members;  ///< position == rank within the comm/team
+  std::string name;
+};
+
+struct RegionInfo {
+  RegionId id = kNone;
+  RegionKind kind = RegionKind::kUser;
+  std::string name;
+};
+
+/// Interns region names; ids are dense.
+class RegionRegistry {
+ public:
+  RegionId intern(const std::string& name, RegionKind kind);
+  const RegionInfo& info(RegionId id) const;
+  /// Looks up by name; returns kNone when absent.
+  RegionId find(const std::string& name) const;
+  std::size_t size() const { return regions_.size(); }
+
+ private:
+  std::vector<RegionInfo> regions_;
+};
+
+/// An in-memory event trace: location/comm/region metadata plus one
+/// time-ordered event vector per location.
+class Trace {
+ public:
+  // ---- metadata -------------------------------------------------------
+  RegionRegistry& regions() { return regions_; }
+  const RegionRegistry& regions() const { return regions_; }
+
+  /// Registers location `id`.  Ids must arrive densely in spawn order so
+  /// that trace locations coincide with engine locations.
+  void add_location(LocationInfo info);
+  CommId add_comm(CommKind kind, std::vector<LocId> members,
+                  std::string name);
+
+  const LocationInfo& location(LocId id) const;
+  const CommInfo& comm(CommId id) const;
+  std::size_t location_count() const { return locations_.size(); }
+  std::size_t comm_count() const { return comms_.size(); }
+
+  // ---- recording ------------------------------------------------------
+  /// When disabled, the record_* calls become no-ops (used to measure the
+  /// instrumented/uninstrumented overhead delta, cf. paper Ch. 2).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void enter(LocId loc, VTime t, RegionId region);
+  void exit(LocId loc, VTime t, RegionId region);
+  void send(LocId loc, VTime t, LocId dst, std::int32_t tag, CommId comm,
+            std::int64_t bytes);
+  void recv(LocId loc, VTime t, LocId src, std::int32_t tag, CommId comm,
+            std::int64_t bytes);
+  void coll_end(LocId loc, VTime t, VTime enter_t, CommId comm,
+                std::int64_t seq, CollOp op, std::int32_t root,
+                std::int64_t bytes_in, std::int64_t bytes_out);
+  void lock_acquire(LocId loc, VTime t, std::int32_t lock_id);
+  void lock_release(LocId loc, VTime t, std::int32_t lock_id);
+
+  // ---- views ----------------------------------------------------------
+  const std::vector<Event>& events_of(LocId loc) const;
+  std::size_t event_count() const;
+
+  /// All events merged into global (time, loc) order.  Events of one
+  /// location keep their recording order even at equal timestamps.
+  std::vector<const Event*> merged() const;
+
+  /// Latest timestamp in the trace (zero when empty).
+  VTime end_time() const;
+  /// Earliest timestamp in the trace (zero when empty).
+  VTime begin_time() const;
+
+  // ---- io (see trace_io.cpp) -------------------------------------------
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+ private:
+  void push(LocId loc, Event e);
+
+  RegionRegistry regions_;
+  std::vector<LocationInfo> locations_;
+  std::vector<CommInfo> comms_;
+  std::vector<std::vector<Event>> per_loc_;
+  bool enabled_ = true;
+};
+
+}  // namespace ats::trace

@@ -1,0 +1,178 @@
+// Text (de)serialisation of traces.
+//
+// Format: line-oriented, whitespace-separated, names always last on the
+// line (so they may contain spaces).  Header "ATS-TRACE 1".  This lets test
+// programs dump traces that the standalone analyzer and report tools read
+// back — the same decoupling a real tool chain (EPILOG trace -> EXPERT) has.
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "trace/trace.hpp"
+
+namespace ats::trace {
+
+namespace {
+constexpr const char* kMagic = "ATS-TRACE";
+constexpr int kVersion = 1;
+}  // namespace
+
+void Trace::save(std::ostream& os) const {
+  os << kMagic << ' ' << kVersion << '\n';
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const RegionInfo& r = regions_.info(static_cast<RegionId>(i));
+    os << "region " << r.id << ' ' << to_string(r.kind) << ' ' << r.name
+       << '\n';
+  }
+  for (const auto& l : locations_) {
+    os << "loc " << l.id << ' ' << l.parent << ' '
+       << (l.kind == LocKind::kProcess ? "process" : "thread") << ' '
+       << l.rank << ' ' << l.thread << ' ' << l.name << '\n';
+  }
+  for (const auto& c : comms_) {
+    os << "comm " << c.id << ' '
+       << (c.kind == CommKind::kMpiComm ? "mpi" : "team") << ' '
+       << c.members.size();
+    for (LocId m : c.members) os << ' ' << m;
+    os << ' ' << c.name << '\n';
+  }
+  for (const auto& v : per_loc_) {
+    for (const Event& e : v) {
+      switch (e.type) {
+        case EventType::kEnter:
+          os << "E " << e.loc << ' ' << e.t.ns() << ' ' << e.region << '\n';
+          break;
+        case EventType::kExit:
+          os << "X " << e.loc << ' ' << e.t.ns() << ' ' << e.region << '\n';
+          break;
+        case EventType::kSend:
+          os << "S " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << ' '
+             << e.tag << ' ' << e.comm << ' ' << e.bytes << '\n';
+          break;
+        case EventType::kRecv:
+          os << "R " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << ' '
+             << e.tag << ' ' << e.comm << ' ' << e.bytes << '\n';
+          break;
+        case EventType::kCollEnd:
+          os << "C " << e.loc << ' ' << e.t.ns() << ' ' << e.enter_t.ns()
+             << ' ' << e.comm << ' ' << e.seq << ' ' << to_string(e.op) << ' '
+             << e.root << ' ' << e.bytes << ' ' << e.bytes_out << '\n';
+          break;
+        case EventType::kLockAcquire:
+          os << "LA " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << '\n';
+          break;
+        case EventType::kLockRelease:
+          os << "LR " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << '\n';
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Reads the rest of the line (after leading space) as a free-form name.
+std::string read_name(std::istringstream& ls) {
+  std::string name;
+  std::getline(ls, name);
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  return name;
+}
+
+}  // namespace
+
+Trace Trace::load(std::istream& is) {
+  Trace t;
+  std::string line;
+  if (!std::getline(is, line)) throw TraceError("empty trace stream");
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    int version = 0;
+    ls >> magic >> version;
+    if (magic != kMagic || version != kVersion) {
+      throw TraceError("bad trace header: " + line);
+    }
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "region") {
+      RegionId id;
+      std::string kind;
+      ls >> id >> kind;
+      const std::string name = read_name(ls);
+      const RegionId got = t.regions_.intern(name,
+                                             region_kind_from_string(kind));
+      if (got != id) throw TraceError("region ids out of order in trace");
+    } else if (kw == "loc") {
+      LocationInfo li;
+      std::string kind;
+      ls >> li.id >> li.parent >> kind >> li.rank >> li.thread;
+      li.kind = (kind == "process") ? LocKind::kProcess : LocKind::kThread;
+      li.name = read_name(ls);
+      t.add_location(std::move(li));
+    } else if (kw == "comm") {
+      CommId id;
+      std::string kind;
+      std::size_t n = 0;
+      ls >> id >> kind >> n;
+      std::vector<LocId> members(n);
+      for (auto& m : members) ls >> m;
+      const std::string name = read_name(ls);
+      const CommId got = t.add_comm(
+          kind == "mpi" ? CommKind::kMpiComm : CommKind::kOmpTeam,
+          std::move(members), name);
+      if (got != id) throw TraceError("comm ids out of order in trace");
+    } else if (kw == "E" || kw == "X") {
+      LocId loc;
+      std::int64_t ns;
+      RegionId region;
+      ls >> loc >> ns >> region;
+      if (kw == "E") {
+        t.enter(loc, VTime(ns), region);
+      } else {
+        t.exit(loc, VTime(ns), region);
+      }
+    } else if (kw == "S" || kw == "R") {
+      LocId loc;
+      std::int64_t ns;
+      std::int32_t peer, tag;
+      CommId comm;
+      std::int64_t bytes;
+      ls >> loc >> ns >> peer >> tag >> comm >> bytes;
+      if (kw == "S") {
+        t.send(loc, VTime(ns), peer, tag, comm, bytes);
+      } else {
+        t.recv(loc, VTime(ns), peer, tag, comm, bytes);
+      }
+    } else if (kw == "C") {
+      LocId loc;
+      std::int64_t ns, enter_ns, seq, bin, bout;
+      CommId comm;
+      std::string op;
+      std::int32_t root;
+      ls >> loc >> ns >> enter_ns >> comm >> seq >> op >> root >> bin >> bout;
+      t.coll_end(loc, VTime(ns), VTime(enter_ns), comm, seq,
+                 coll_op_from_string(op), root, bin, bout);
+    } else if (kw == "LA" || kw == "LR") {
+      LocId loc;
+      std::int64_t ns;
+      std::int32_t lock;
+      ls >> loc >> ns >> lock;
+      if (kw == "LA") {
+        t.lock_acquire(loc, VTime(ns), lock);
+      } else {
+        t.lock_release(loc, VTime(ns), lock);
+      }
+    } else {
+      throw TraceError("unknown trace record: " + line);
+    }
+    if (ls.fail()) throw TraceError("malformed trace record: " + line);
+  }
+  return t;
+}
+
+}  // namespace ats::trace

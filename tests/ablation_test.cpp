@@ -1,0 +1,116 @@
+// Ablation tests for the design choices DESIGN.md §6 calls out:
+//  * eager vs rendezvous protocol threshold — late receiver only exists
+//    under rendezvous;
+//  * analyzer reporting threshold — models tools with different
+//    sensitivities (paper §3.1: "automatic performance tools have
+//    different thresholds/sensitivities");
+//  * virtual vs busy work modes produce the same virtual-time behaviour.
+#include <gtest/gtest.h>
+
+#include "gen/registry.hpp"
+#include "test_util.hpp"
+
+namespace ats {
+namespace {
+
+using core::PropCtx;
+
+analyze::AnalysisResult run_large_send(std::size_t eager_threshold) {
+  mpi::MpiRunOptions opt;
+  opt.nprocs = 2;
+  opt.cost = testutil::clean_mpi_cost();
+  opt.cost.eager_threshold = eager_threshold;
+  auto result = mpi::run_mpi(opt, [](mpi::Proc& p) {
+    std::vector<double> buf(1024);  // 8 KiB message
+    if (p.world_rank() == 0) {
+      p.send(buf.data(), 1024, mpi::Datatype::kDouble, 1, 0,
+             p.comm_world());
+    } else {
+      p.sim().advance(VDur::millis(25));  // the receiver is late
+      p.recv(buf.data(), 1024, mpi::Datatype::kDouble, 0, 0,
+             p.comm_world());
+    }
+  });
+  return analyze::analyze(result.trace);
+}
+
+TEST(ProtocolAblation, RendezvousExposesLateReceiver) {
+  // 8 KiB > 4 KiB threshold: rendezvous, the sender blocks 25ms.
+  const auto result = run_large_send(4 * 1024);
+  EXPECT_EQ(result.cube.total(analyze::PropertyId::kLateReceiver),
+            VDur::millis(25));
+}
+
+TEST(ProtocolAblation, EagerHidesLateReceiver) {
+  // 8 KiB < 64 KiB threshold: eager, the sender never blocks.
+  const auto result = run_large_send(64 * 1024);
+  EXPECT_EQ(result.cube.total(analyze::PropertyId::kLateReceiver),
+            VDur::zero());
+  // And the late receiver costs nobody anything: no late sender either.
+  EXPECT_EQ(result.cube.total(analyze::PropertyId::kLateSender),
+            VDur::zero());
+}
+
+TEST(ProtocolAblation, SsendIgnoresThreshold) {
+  // The late_receiver property function uses ssend, so it works for any
+  // threshold — that is why the catalog entry is robust.
+  gen::RunConfig cfg;
+  cfg.nprocs = 4;
+  cfg.mpi_cost.eager_threshold = 1 << 30;  // everything would be eager
+  const auto& def = gen::Registry::instance().find("late_receiver");
+  const auto tr = gen::run_single_property(def, def.positive, cfg);
+  const auto result = analyze::analyze(tr);
+  const auto dom = result.dominant();
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_EQ(dom->prop, analyze::PropertyId::kLateReceiver);
+}
+
+TEST(ThresholdAblation, SensitivityControlsReporting) {
+  // A fixed-severity property (~n%) crosses in and out of visibility as
+  // the analyzer threshold sweeps — the "tool sensitivity" knob.
+  gen::RunConfig cfg;
+  cfg.nprocs = 4;
+  gen::ParamMap pm;
+  pm.set("basework", "0.05");
+  pm.set("extrawork", "0.01");  // mild injection
+  const auto tr = gen::run_single_property("late_sender", pm, cfg);
+
+  analyze::AnalyzerOptions sensitive;
+  sensitive.threshold = 0.001;
+  const auto r1 = analyze::analyze(tr, sensitive);
+  EXPECT_TRUE(r1.dominant().has_value());
+
+  analyze::AnalyzerOptions insensitive;
+  insensitive.threshold = 0.5;
+  const auto r2 = analyze::analyze(tr, insensitive);
+  EXPECT_FALSE(r2.dominant().has_value());
+
+  // Severity itself is threshold independent (only reporting changes).
+  EXPECT_EQ(r1.cube.total(analyze::PropertyId::kLateSender),
+            r2.cube.total(analyze::PropertyId::kLateSender));
+}
+
+TEST(WorkModeAblation, BusyAndVirtualAgreeOnVirtualTime) {
+  // The busy loop burns host CPU but must advance virtual time exactly
+  // like the virtual mode, so traces are mode independent.
+  auto run_mode = [](core::WorkMode mode) {
+    mpi::MpiRunOptions opt;
+    opt.nprocs = 2;
+    opt.cost = testutil::clean_mpi_cost();
+    auto result = mpi::run_mpi(opt, [&](mpi::Proc& p) {
+      PropCtx ctx = core::PropCtx::from(p);
+      ctx.work.mode = mode;
+      if (mode == core::WorkMode::kBusy) {
+        ctx.work.busy_iters_per_sec = 1e8;  // nominal; exactness not needed
+        ctx.work.array_elems = 1 << 8;
+      }
+      core::late_sender(ctx, 0.0005, 0.001, 2, p.comm_world());
+    });
+    return result.makespan;
+  };
+  EXPECT_EQ(run_mode(core::WorkMode::kVirtual),
+            run_mode(core::WorkMode::kBusy));
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,184 @@
+// Unit tests for common/: virtual time, RNG, stats, string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strutil.hpp"
+#include "common/vtime.hpp"
+
+namespace ats {
+namespace {
+
+TEST(VDur, SecondsRoundTrip) {
+  EXPECT_EQ(VDur::seconds(1.5).ns(), 1500000000);
+  EXPECT_DOUBLE_EQ(VDur::seconds(0.25).sec(), 0.25);
+  EXPECT_EQ(VDur::seconds(0.0), VDur::zero());
+}
+
+TEST(VDur, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(VDur::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(VDur::seconds(0.4e-9).ns(), 0);
+  EXPECT_EQ(VDur::seconds(0.6e-9).ns(), 1);
+}
+
+TEST(VDur, RejectsNonFinite) {
+  EXPECT_THROW(VDur::seconds(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(VDur::seconds(std::nan("")), std::invalid_argument);
+}
+
+TEST(VDur, Arithmetic) {
+  const VDur a = VDur::millis(3);
+  const VDur b = VDur::micros(500);
+  EXPECT_EQ((a + b).ns(), 3500000);
+  EXPECT_EQ((a - b).ns(), 2500000);
+  EXPECT_EQ((a * 2.0).ns(), 6000000);
+  EXPECT_EQ((a * std::int64_t{4}).ns(), 12000000);
+  EXPECT_EQ((a / std::int64_t{3}).ns(), 1000000);
+  EXPECT_DOUBLE_EQ(a / b, 6.0);
+  EXPECT_EQ(-a, VDur::millis(-3));
+}
+
+TEST(VDur, DivisionByZeroDurationThrows) {
+  EXPECT_THROW(VDur::millis(1) / VDur::zero(), std::invalid_argument);
+}
+
+TEST(VDur, Comparisons) {
+  EXPECT_LT(VDur::micros(1), VDur::millis(1));
+  EXPECT_EQ(longer(VDur::micros(3), VDur::micros(5)), VDur::micros(5));
+  EXPECT_EQ(shorter(VDur::micros(3), VDur::micros(5)), VDur::micros(3));
+  EXPECT_EQ(non_negative(VDur::millis(-2)), VDur::zero());
+  EXPECT_EQ(non_negative(VDur::millis(2)), VDur::millis(2));
+}
+
+TEST(VDur, HumanReadable) {
+  EXPECT_EQ(VDur::nanos(12).str(), "12 ns");
+  EXPECT_EQ(VDur::micros(3).str(), "3.00 us");
+  EXPECT_EQ(VDur::millis(12).str(), "12.00 ms");
+  EXPECT_EQ(VDur::seconds(2.5).str(), "2.500 s");
+}
+
+TEST(VTime, Arithmetic) {
+  const VTime t = VTime::zero() + VDur::millis(10);
+  EXPECT_EQ(t.ns(), 10000000);
+  EXPECT_EQ(t - VTime::zero(), VDur::millis(10));
+  EXPECT_EQ(later(t, VTime::zero()), t);
+  EXPECT_EQ(earlier(t, VTime::zero()), VTime::zero());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42, 0), b(42, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, IntRangeInclusive) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_in(std::int64_t{-2}, std::int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, LoGreaterThanHiThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.next_in(std::int64_t{3}, std::int64_t{2}),
+               std::invalid_argument);
+}
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(s.imbalance(), 4.0 / 2.5);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.imbalance(), 1.0);
+}
+
+TEST(StrUtil, JoinSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtil, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+TEST(StrUtil, Formatting) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.123, 1), "12.3%");
+  EXPECT_TRUE(starts_with("late_sender", "late"));
+  EXPECT_FALSE(starts_with("late", "late_sender"));
+  EXPECT_EQ(repeat('-', 3), "---");
+}
+
+TEST(Error, RequireThrowsUsageError) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), UsageError);
+  try {
+    require(false, "specific message");
+  } catch (const UsageError& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  EXPECT_THROW(throw MpiError("x"), UsageError);
+  EXPECT_THROW(throw MpiError("x"), Error);
+  EXPECT_THROW(throw DeadlockError("x"), Error);
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,186 @@
+// Tests for the ATS distribution functions (paper §3.1.2).
+#include <gtest/gtest.h>
+
+#include "core/distribution.hpp"
+
+namespace ats::core {
+namespace {
+
+TEST(Distribution, SameGivesEveryoneTheValue) {
+  const Distribution d = Distribution::same(3.5);
+  for (int me = 0; me < 8; ++me) EXPECT_DOUBLE_EQ(d(me, 8), 3.5);
+}
+
+TEST(Distribution, ScaleMultiplies) {
+  const Distribution d = Distribution::same(2.0);
+  EXPECT_DOUBLE_EQ(d(0, 4, 2.5), 5.0);
+  EXPECT_DOUBLE_EQ(d(3, 4, 0.0), 0.0);
+}
+
+TEST(Distribution, Cyclic2Alternates) {
+  // Paper semantics: even ranks get low, odd ranks get high.
+  const Distribution d = Distribution::cyclic2(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(d(0, 6), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 6), 9.0);
+  EXPECT_DOUBLE_EQ(d(2, 6), 1.0);
+  EXPECT_DOUBLE_EQ(d(5, 6), 9.0);
+}
+
+TEST(Distribution, Block2SplitsInHalves) {
+  const Distribution d = Distribution::block2(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(d(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(d(2, 4), 9.0);
+  EXPECT_DOUBLE_EQ(d(3, 4), 9.0);
+}
+
+TEST(Distribution, Block2OddSizePutsExtraInFirstBlock) {
+  const Distribution d = Distribution::block2(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(d(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(d(2, 5), 1.0);  // (5+1)/2 = 3 ranks in the low block
+  EXPECT_DOUBLE_EQ(d(3, 5), 9.0);
+}
+
+TEST(Distribution, LinearInterpolates) {
+  const Distribution d = Distribution::linear(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(d(0, 6), 0.0);
+  EXPECT_DOUBLE_EQ(d(5, 6), 10.0);
+  EXPECT_DOUBLE_EQ(d(1, 6), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);  // degenerate group of one
+}
+
+TEST(Distribution, LinearDescendingWorks) {
+  const Distribution d = Distribution::linear(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 3), 10.0);
+  EXPECT_DOUBLE_EQ(d(1, 3), 5.0);
+  EXPECT_DOUBLE_EQ(d(2, 3), 0.0);
+}
+
+TEST(Distribution, PeakSingleRank) {
+  const Distribution d = Distribution::peak(1.0, 42.0, 2);
+  for (int me = 0; me < 5; ++me) {
+    EXPECT_DOUBLE_EQ(d(me, 5), me == 2 ? 42.0 : 1.0);
+  }
+}
+
+TEST(Distribution, Cyclic3Cycles) {
+  const Distribution d = Distribution::cyclic3(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 7), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 7), 2.0);
+  EXPECT_DOUBLE_EQ(d(2, 7), 3.0);
+  EXPECT_DOUBLE_EQ(d(3, 7), 1.0);
+  EXPECT_DOUBLE_EQ(d(6, 7), 1.0);
+}
+
+TEST(Distribution, Block3Thirds) {
+  const Distribution d = Distribution::block3(1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 6), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 6), 1.0);
+  EXPECT_DOUBLE_EQ(d(2, 6), 2.0);
+  EXPECT_DOUBLE_EQ(d(3, 6), 2.0);
+  EXPECT_DOUBLE_EQ(d(4, 6), 3.0);
+  EXPECT_DOUBLE_EQ(d(5, 6), 3.0);
+}
+
+TEST(Distribution, RandomIsDeterministicAndBounded) {
+  const Distribution d = Distribution::random(2.0, 4.0);
+  for (int me = 0; me < 32; ++me) {
+    const double v = d(me, 32);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 4.0);
+    EXPECT_DOUBLE_EQ(v, d(me, 32));  // reproducible
+  }
+  EXPECT_NE(d(0, 32), d(1, 32));  // ranks differ (w.h.p., fixed seed)
+}
+
+TEST(Distribution, CustomTableWrapsAround) {
+  const Distribution d = Distribution::custom({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(d(3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(d(4, 5), 2.0);
+}
+
+TEST(Distribution, EmptyCustomTableThrows) {
+  const Distribution d = Distribution::custom({});
+  EXPECT_THROW(d(0, 2), UsageError);
+}
+
+TEST(Distribution, WrongDescriptorTypeThrows) {
+  Distribution d;
+  d.fn = &df_cyclic2;
+  d.desc = Val1{1.0};  // cyclic2 needs Val2
+  EXPECT_THROW(d(0, 2), UsageError);
+}
+
+TEST(Distribution, OutOfRangeRankThrows) {
+  const Distribution d = Distribution::same(1.0);
+  EXPECT_THROW(d(4, 4), UsageError);
+  EXPECT_THROW(d(-1, 4), UsageError);
+  EXPECT_THROW(d(0, 0), UsageError);
+}
+
+TEST(Distribution, NameLookupRoundTrips) {
+  for (const std::string& name : distr_func_names()) {
+    const DistrFunc fn = distr_func_by_name(name);
+    EXPECT_EQ(distr_func_name(fn), name);
+  }
+  EXPECT_THROW(distr_func_by_name("fancy"), UsageError);
+}
+
+TEST(Distribution, ValuesHelperEnumeratesRanks) {
+  const auto v = distr_values(Distribution::linear(0.0, 3.0), 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 3.0);
+}
+
+// Property-style sweep: every distribution respects scale linearity.
+class DistrScaleTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DistrScaleTest, ScaleIsLinear) {
+  const std::string name = GetParam();
+  Distribution d;
+  d.fn = distr_func_by_name(name);
+  if (name == "same") {
+    d.desc = Val1{2.0};
+  } else if (name == "peak") {
+    d.desc = Val2N{1.0, 5.0, 0};
+  } else if (name == "cyclic3" || name == "block3") {
+    d.desc = Val3{1.0, 3.0, 2.0};
+  } else if (name == "custom") {
+    d.desc = ValTable{1.0, 2.0};
+  } else {
+    d.desc = Val2{1.0, 5.0};
+  }
+  for (int sz : {1, 2, 5, 8}) {
+    for (int me = 0; me < sz; ++me) {
+      const double base = d(me, sz, 1.0);
+      EXPECT_DOUBLE_EQ(d(me, sz, 3.0), 3.0 * base)
+          << name << " me=" << me << " sz=" << sz;
+      EXPECT_DOUBLE_EQ(d(me, sz, 0.0), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistrScaleTest,
+                         ::testing::ValuesIn(distr_func_names()));
+
+// Property-style sweep: group mean matches the analytic expectation for the
+// two-valued distributions on even-sized groups.
+class DistrMeanTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DistrMeanTest, TwoValuedMeanIsMidpoint) {
+  Distribution d;
+  d.fn = distr_func_by_name(GetParam());
+  d.desc = Val2{2.0, 6.0};
+  const int sz = 8;
+  double sum = 0;
+  for (int me = 0; me < sz; ++me) sum += d(me, sz);
+  EXPECT_NEAR(sum / sz, 4.0, 1e-12) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoValued, DistrMeanTest,
+                         ::testing::Values("cyclic2", "block2", "linear"));
+
+}  // namespace
+}  // namespace ats::core

@@ -1,0 +1,105 @@
+// Tests for the experiment-management module (parameter sweeps).
+#include <gtest/gtest.h>
+
+#include "common/strutil.hpp"
+#include "gen/experiment.hpp"
+
+namespace ats::gen {
+namespace {
+
+TEST(Experiment, SweepOverPropertyParameter) {
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.base.set("basework", "0.01");
+  plan.base.set("r", "2");
+  plan.axis = {"extrawork", {"0.01", "0.02", "0.04"}};
+  plan.config.nprocs = 4;
+  const auto rows = run_experiment(plan);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    EXPECT_TRUE(r.detected) << r.value;
+    EXPECT_EQ(r.dominant, "late sender");
+  }
+  // Severity doubles with the axis value (up to the constant p2p overheads
+  // of the default cost model, well under a millisecond here).
+  EXPECT_NEAR(rows[1].severity.sec(), 2 * rows[0].severity.sec(), 5e-4);
+  EXPECT_NEAR(rows[2].severity.sec(), 4 * rows[0].severity.sec(), 5e-4);
+}
+
+TEST(Experiment, SweepOverProcessCount) {
+  ExperimentPlan plan;
+  plan.property = "imbalance_at_mpi_barrier";
+  plan.base.set("df", "linear:low=0.01,high=0.05");
+  plan.base.set("r", "2");
+  plan.axis = {"np", {"2", "4", "8"}};
+  const auto rows = run_experiment(plan);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) EXPECT_TRUE(r.detected) << "np=" << r.value;
+  // More ranks waiting -> more total severity.
+  EXPECT_LT(rows[0].severity, rows[1].severity);
+  EXPECT_LT(rows[1].severity, rows[2].severity);
+}
+
+TEST(Experiment, NegativePropertySweepNeverDetects) {
+  ExperimentPlan plan;
+  plan.property = "balanced_mpi_stencil";
+  plan.axis = {"work", {"0.01", "0.05"}};
+  plan.config.nprocs = 4;
+  const auto rows = run_experiment(plan);
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.detected);
+    EXPECT_EQ(r.severity, VDur::zero());
+  }
+}
+
+TEST(Experiment, CrippledAnalyzerSweepShowsMisses) {
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.axis = {"extrawork", {"0.05"}};
+  plan.config.nprocs = 4;
+  plan.analyzer.disabled_patterns = {analyze::PropertyId::kLateSender};
+  const auto rows = run_experiment(plan);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].detected);
+  EXPECT_EQ(rows[0].severity, VDur::zero());
+}
+
+TEST(Experiment, CsvFormat) {
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.axis = {"extrawork", {"0.02", "0.04"}};
+  plan.config.nprocs = 4;
+  const auto rows = run_experiment(plan);
+  const std::string csv = experiment_csv(plan, rows);
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "extrawork,severity_sec,fraction,detected,dominant,total_sec");
+  EXPECT_TRUE(starts_with(lines[1], "0.02,"));
+  EXPECT_NE(lines[1].find(",1,late sender,"), std::string::npos);
+}
+
+TEST(Experiment, TableFormat) {
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.axis = {"extrawork", {"0.02"}};
+  plan.config.nprocs = 4;
+  const auto rows = run_experiment(plan);
+  const std::string table = experiment_table(plan, rows);
+  EXPECT_NE(table.find("sweep of 'late_sender'"), std::string::npos);
+  EXPECT_NE(table.find("yes"), std::string::npos);
+}
+
+TEST(Experiment, ErrorsOnBadPlans) {
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  EXPECT_THROW(run_experiment(plan), UsageError);  // no axis
+  plan.axis = {"extrawork", {}};
+  EXPECT_THROW(run_experiment(plan), UsageError);  // no values
+  plan.axis = {"extrawork", {"0.01"}};
+  plan.property = "nope";
+  EXPECT_THROW(run_experiment(plan), UsageError);  // unknown property
+}
+
+}  // namespace
+}  // namespace ats::gen

@@ -1,0 +1,153 @@
+// Cross-module integration tests: composite OpenMP programs, odd process
+// counts (the paper requires patterns to work "regardless of the number of
+// processors"), degenerate repetition factors, timeline windowing, CSV
+// export of large runs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strutil.hpp"
+#include "gen/registry.hpp"
+#include "report/cube_view.hpp"
+#include "report/timeline.hpp"
+#include "test_util.hpp"
+
+namespace ats {
+namespace {
+
+TEST(Integration, CompositeOmpProgramTriggersAllOmpFamilies) {
+  mpi::MpiRunOptions opt;
+  opt.nprocs = 1;
+  opt.cost = testutil::clean_mpi_cost();
+  std::vector<std::string> order;
+  auto run = mpi::run_mpi(opt, [&](mpi::Proc& p) {
+    omp::Runtime rt(p.world().trace(), testutil::clean_omp_cost());
+    core::PropCtx ctx = core::PropCtx::from(p, &rt);
+    core::CompositeParams params;
+    order = core::run_all_omp_properties(ctx, params, /*nthreads=*/4);
+  });
+  EXPECT_EQ(order.size(), 7u);
+  const auto result = analyze::analyze(run.trace);
+  std::set<analyze::PropertyId> found;
+  for (const auto& f : result.findings) found.insert(f.prop);
+  using P = analyze::PropertyId;
+  for (P want :
+       {P::kImbalanceInParallelRegion, P::kWaitAtOmpBarrier,
+        P::kImbalanceInOmpLoop, P::kImbalanceInOmpSections,
+        P::kOmpLockContention, P::kImbalanceInOmpSingle,
+        P::kOmpIdleThreads}) {
+    EXPECT_TRUE(found.count(want))
+        << "missed " << analyze::property_name(want);
+  }
+}
+
+// The paper: "as long as the communication buffers match pairwise, a
+// pattern should work ... regardless of the number of processors".  Run
+// every positive configuration on an odd communicator size.
+class OddSizeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OddSizeTest, PositiveRunsOnFiveRanks) {
+  const auto& def = gen::Registry::instance().find(GetParam());
+  gen::RunConfig cfg;
+  cfg.nprocs = 5;
+  cfg.mpi_cost = testutil::clean_mpi_cost();
+  cfg.omp_cost = testutil::clean_omp_cost();
+  trace::Trace tr;
+  ASSERT_NO_THROW(tr = gen::run_single_property(def, def.positive, cfg))
+      << def.name;
+  const auto result = analyze::analyze(tr);
+  if (def.expected.has_value()) {
+    const auto dom = result.dominant();
+    ASSERT_TRUE(dom.has_value()) << def.name;
+    EXPECT_EQ(dom->prop, *def.expected) << def.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProperties, OddSizeTest,
+    ::testing::ValuesIn(gen::Registry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(Integration, ZeroRepetitionsIsANoop) {
+  for (const char* name : {"late_sender", "imbalance_at_mpi_barrier",
+                           "early_reduce", "balanced_mpi_stencil"}) {
+    const auto& def = gen::Registry::instance().find(name);
+    gen::RunConfig cfg;
+    cfg.nprocs = 4;
+    cfg.mpi_cost = testutil::clean_mpi_cost();
+    gen::ParamMap pm = def.positive;
+    pm.set("r", "0");
+    const auto tr = gen::run_single_property(def, pm, cfg);
+    const auto result = analyze::analyze(tr);
+    EXPECT_FALSE(result.dominant().has_value()) << name;
+  }
+}
+
+TEST(Integration, TimelineWindowRestrictsRendering) {
+  const auto tr = testutil::run_prop(2, [](core::PropCtx& ctx) {
+    core::do_work(ctx, 0.05);
+    core::late_sender(ctx, 0.01, 0.02, 2, ctx.mpi_proc().comm_world());
+  });
+  // Window over the initial pure-work phase only: no 'p' glyphs.
+  report::TimelineOptions opt;
+  opt.legend = false;
+  opt.t0 = VTime::zero() + VDur::millis(5);
+  opt.t1 = VTime::zero() + VDur::millis(45);
+  const std::string windowed = report::render_timeline(tr, opt);
+  EXPECT_EQ(windowed.find('p'), std::string::npos);
+  // Full view does show communication.
+  report::TimelineOptions full;
+  full.legend = false;
+  EXPECT_NE(report::render_timeline(tr, full).find('p'),
+            std::string::npos);
+}
+
+TEST(Integration, CsvExportOfCompositeRunIsConsistent) {
+  mpi::MpiRunOptions opt;
+  opt.nprocs = 4;
+  opt.cost = testutil::clean_mpi_cost();
+  auto run = mpi::run_mpi(opt, [](mpi::Proc& p) {
+    core::PropCtx ctx = core::PropCtx::from(p);
+    core::CompositeParams params;
+    core::run_all_mpi_properties(ctx, params, p.comm_world());
+  });
+  const auto result = analyze::analyze(run.trace);
+  const std::string csv = report::severity_csv(result, run.trace);
+  // Sum of late-sender rows in the CSV equals the cube total.
+  double ls_sum = 0;
+  for (const std::string& line : split(csv, '\n')) {
+    if (starts_with(line, "late sender,")) {
+      const auto cols = split(line, ',');
+      ls_sum += std::stod(cols.back());
+    }
+  }
+  EXPECT_NEAR(ls_sum,
+              result.cube.total(analyze::PropertyId::kLateSender).sec(),
+              1e-9);
+}
+
+TEST(Integration, FullPipelineSaveAnalyzeRenderedEverywhere) {
+  // trace -> save -> load -> analyze -> every renderer runs without throw.
+  mpi::MpiRunOptions opt;
+  opt.nprocs = 6;
+  auto run = mpi::run_mpi(opt, [](mpi::Proc& p) {
+    core::PropCtx ctx = core::PropCtx::from(p);
+    core::CompositeParams params;
+    params.repeats = 1;
+    core::run_split_communicator_program(ctx, params);
+  });
+  std::stringstream ss;
+  run.trace.save(ss);
+  const trace::Trace loaded = trace::Trace::load(ss);
+  const auto result = analyze::analyze(loaded);
+  EXPECT_FALSE(report::render_timeline(loaded).empty());
+  EXPECT_FALSE(report::render_location_summary(loaded).empty());
+  EXPECT_FALSE(report::render_analysis(result, loaded).empty());
+  EXPECT_FALSE(report::render_profile(result, loaded).empty());
+  EXPECT_FALSE(report::severity_csv(result, loaded).empty());
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,421 @@
+// Additional simulated-MPI coverage: nested communicator splits, traffic
+// isolation between communicators, self messages, zero-sized payloads,
+// rendezvous non-blocking completion, wildcard statuses, reduce operator /
+// datatype matrix, degenerate communicators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.hpp"
+
+namespace ats::mpi {
+namespace {
+
+MpiRunOptions clean_options(int nprocs) {
+  MpiRunOptions opt;
+  opt.nprocs = nprocs;
+  opt.cost = testutil::clean_mpi_cost();
+  return opt;
+}
+
+VDur ms(std::int64_t v) { return VDur::millis(v); }
+
+TEST(CommExtra, SplitOfSplit) {
+  // 8 -> halves -> quarters; ranks and sizes must stay consistent.
+  std::vector<int> qrank(8, -1), qsize(8, -1);
+  run_mpi(clean_options(8), [&](Proc& p) {
+    const int me = p.world_rank();
+    Comm* half = p.split(p.comm_world(), me / 4, me);
+    const int hrank = p.rank(*half);
+    Comm* quarter = p.split(*half, hrank / 2, hrank);
+    qrank[static_cast<std::size_t>(me)] = p.rank(*quarter);
+    qsize[static_cast<std::size_t>(me)] = quarter->size();
+    p.barrier(*quarter);
+  });
+  for (int me = 0; me < 8; ++me) {
+    EXPECT_EQ(qsize[static_cast<std::size_t>(me)], 2);
+    EXPECT_EQ(qrank[static_cast<std::size_t>(me)], me % 2);
+  }
+}
+
+TEST(CommExtra, TagsDoNotCrossCommunicators) {
+  // The same (src, dst, tag) on world and on a dup are distinct envelopes;
+  // each receive must take the message from its own communicator.
+  std::vector<int> got(2, -1);
+  run_mpi(clean_options(2), [&](Proc& p) {
+    Comm& d = p.dup(p.comm_world());
+    int v_world = 111, v_dup = 222, r = -1;
+    if (p.world_rank() == 0) {
+      p.send(&v_world, 1, Datatype::kInt32, 1, 5, p.comm_world());
+      p.send(&v_dup, 1, Datatype::kInt32, 1, 5, d);
+    } else {
+      // Receive from the dup FIRST even though world's message was sent
+      // first: no cross-communicator matching may occur.
+      p.recv(&r, 1, Datatype::kInt32, 0, 5, d);
+      got[0] = r;
+      p.recv(&r, 1, Datatype::kInt32, 0, 5, p.comm_world());
+      got[1] = r;
+    }
+  });
+  EXPECT_EQ(got[0], 222);
+  EXPECT_EQ(got[1], 111);
+}
+
+TEST(CommExtra, ConcurrentCollectivesOnSiblingComms) {
+  // Both halves barrier with different phase shifts; the halves must not
+  // synchronise with each other.
+  std::vector<VTime> after(4);
+  run_mpi(clean_options(4), [&](Proc& p) {
+    const int me = p.world_rank();
+    Comm* half = p.split(p.comm_world(), me / 2, me);
+    // Lower half: ranks at 0 / 10ms.  Upper half: ranks at 50 / 60ms.
+    p.sim().advance(ms((me % 2) * 10 + (me / 2) * 50));
+    p.barrier(*half);
+    after[static_cast<std::size_t>(me)] = p.sim().now();
+  });
+  EXPECT_EQ(after[0], VTime::zero() + ms(10));
+  EXPECT_EQ(after[1], VTime::zero() + ms(10));
+  EXPECT_EQ(after[2], VTime::zero() + ms(60));
+  EXPECT_EQ(after[3], VTime::zero() + ms(60));
+}
+
+TEST(P2PExtra, SelfMessageViaIrecv) {
+  int got = -1;
+  run_mpi(clean_options(1), [&](Proc& p) {
+    int v = 99;
+    Request r = p.irecv(&got, 1, Datatype::kInt32, 0, 0, p.comm_world());
+    p.send(&v, 1, Datatype::kInt32, 0, 0, p.comm_world());
+    p.wait(r);
+  });
+  EXPECT_EQ(got, 99);
+}
+
+TEST(P2PExtra, ZeroCountMessages) {
+  Status st;
+  run_mpi(clean_options(2), [&](Proc& p) {
+    if (p.world_rank() == 0) {
+      p.send(nullptr, 0, Datatype::kInt32, 1, 3, p.comm_world());
+    } else {
+      p.recv(nullptr, 0, Datatype::kInt32, 0, 3, p.comm_world(), &st);
+    }
+  });
+  EXPECT_EQ(st.bytes, 0);
+  EXPECT_EQ(st.count, 0);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 3);
+}
+
+TEST(P2PExtra, RendezvousIsendCompletesAtWait) {
+  auto opt = clean_options(2);
+  opt.cost.eager_threshold = 8;
+  VTime wait_done;
+  std::vector<double> payload(64, 1.0), sink(64);
+  run_mpi(opt, [&](Proc& p) {
+    if (p.world_rank() == 0) {
+      Request r =
+          p.isend(payload.data(), 64, Datatype::kDouble, 1, 0,
+                  p.comm_world());
+      // isend returns immediately even under rendezvous...
+      EXPECT_EQ(p.sim().now(), VTime::zero());
+      p.wait(r);  // ... but wait blocks until the receiver arrives.
+      wait_done = p.sim().now();
+    } else {
+      p.sim().advance(ms(12));
+      p.recv(sink.data(), 64, Datatype::kDouble, 0, 0, p.comm_world());
+    }
+  });
+  EXPECT_EQ(wait_done, VTime::zero() + ms(12));
+  EXPECT_EQ(sink, payload);
+}
+
+TEST(P2PExtra, TestOnRendezvousIsendTurnsTrue) {
+  auto opt = clean_options(2);
+  opt.cost.eager_threshold = 8;
+  std::vector<double> payload(64, 2.0), sink(64);
+  run_mpi(opt, [&](Proc& p) {
+    if (p.world_rank() == 0) {
+      Request r = p.isend(payload.data(), 64, Datatype::kDouble, 1, 0,
+                          p.comm_world());
+      EXPECT_FALSE(p.test(r));
+      p.sim().advance(ms(20));  // receiver posts at 5ms
+      EXPECT_TRUE(p.test(r));
+    } else {
+      p.sim().advance(ms(5));
+      p.recv(sink.data(), 64, Datatype::kDouble, 0, 0, p.comm_world());
+    }
+  });
+}
+
+TEST(P2PExtra, WildcardIrecvStatusResolves) {
+  Status st;
+  run_mpi(clean_options(3), [&](Proc& p) {
+    if (p.world_rank() == 2) {
+      int v = 0;
+      Request r = p.irecv(&v, 1, Datatype::kInt32, kAnySource, kAnyTag,
+                          p.comm_world());
+      p.wait(r, &st);
+      EXPECT_EQ(v, 5);
+    } else if (p.world_rank() == 1) {
+      p.sim().advance(ms(1));
+      int v = 5;
+      p.send(&v, 1, Datatype::kInt32, 2, 9, p.comm_world());
+    }
+  });
+  EXPECT_EQ(st.source, 1);
+  EXPECT_EQ(st.tag, 9);
+}
+
+TEST(CollExtra, ReduceOperatorDatatypeMatrix) {
+  struct Case {
+    Datatype type;
+    ReduceOp op;
+    double expect;  // for inputs {1, 2, 3}
+  };
+  for (const Case c : {Case{Datatype::kInt64, ReduceOp::kProd, 6.0},
+                       Case{Datatype::kFloat, ReduceOp::kMin, 1.0},
+                       Case{Datatype::kDouble, ReduceOp::kMax, 3.0},
+                       Case{Datatype::kInt32, ReduceOp::kSum, 6.0}}) {
+    double got = -1;
+    run_mpi(clean_options(3), [&](Proc& p) {
+      const double val = p.world_rank() + 1.0;
+      switch (c.type) {
+        case Datatype::kInt64: {
+          std::int64_t v = static_cast<std::int64_t>(val), out = 0;
+          p.reduce(&v, &out, 1, c.type, c.op, 0, p.comm_world());
+          if (p.world_rank() == 0) got = static_cast<double>(out);
+          break;
+        }
+        case Datatype::kFloat: {
+          float v = static_cast<float>(val), out = 0;
+          p.reduce(&v, &out, 1, c.type, c.op, 0, p.comm_world());
+          if (p.world_rank() == 0) got = out;
+          break;
+        }
+        case Datatype::kDouble: {
+          double v = val, out = 0;
+          p.reduce(&v, &out, 1, c.type, c.op, 0, p.comm_world());
+          if (p.world_rank() == 0) got = out;
+          break;
+        }
+        default: {
+          std::int32_t v = static_cast<std::int32_t>(val), out = 0;
+          p.reduce(&v, &out, 1, c.type, c.op, 0, p.comm_world());
+          if (p.world_rank() == 0) got = out;
+          break;
+        }
+      }
+    });
+    EXPECT_DOUBLE_EQ(got, c.expect)
+        << to_string(c.type) << " " << to_string(c.op);
+  }
+}
+
+TEST(CollExtra, ScatterWithNonzeroRoot) {
+  std::vector<int> got(3, -1);
+  run_mpi(clean_options(3), [&](Proc& p) {
+    std::vector<int> src;
+    if (p.world_rank() == 2) src = {7, 8, 9};
+    int mine = -1;
+    p.scatter(src.data(), 1, &mine, 1, Datatype::kInt32, 2, p.comm_world());
+    got[static_cast<std::size_t>(p.world_rank())] = mine;
+  });
+  EXPECT_EQ(got, (std::vector<int>{7, 8, 9}));
+}
+
+TEST(CollExtra, SingleRankCollectivesDegenerate) {
+  run_mpi(clean_options(1), [&](Proc& p) {
+    p.barrier(p.comm_world());
+    int v = 4, out = 0;
+    p.allreduce(&v, &out, 1, Datatype::kInt32, ReduceOp::kSum,
+                p.comm_world());
+    EXPECT_EQ(out, 4);
+    p.scan(&v, &out, 1, Datatype::kInt32, ReduceOp::kSum, p.comm_world());
+    EXPECT_EQ(out, 4);
+    int all = -1;
+    p.allgather(&v, 1, &all, 1, Datatype::kInt32, p.comm_world());
+    EXPECT_EQ(all, 4);
+  });
+}
+
+TEST(CollExtra, LargeAlltoallDataIntegrity) {
+  const int np = 6, block = 64;
+  run_mpi(clean_options(np), [&](Proc& p) {
+    const int me = p.world_rank();
+    std::vector<std::int32_t> out(static_cast<std::size_t>(np * block));
+    for (int j = 0; j < np; ++j) {
+      for (int k = 0; k < block; ++k) {
+        out[static_cast<std::size_t>(j * block + k)] =
+            me * 1000000 + j * 1000 + k;
+      }
+    }
+    std::vector<std::int32_t> in(static_cast<std::size_t>(np * block), -1);
+    p.alltoall(out.data(), block, in.data(), block, Datatype::kInt32,
+               p.comm_world());
+    for (int j = 0; j < np; ++j) {
+      for (int k = 0; k < block; ++k) {
+        EXPECT_EQ(in[static_cast<std::size_t>(j * block + k)],
+                  j * 1000000 + me * 1000 + k);
+      }
+    }
+  });
+}
+
+TEST(P2PExtra, IprobeSeesPendingEnvelopeWithoutConsuming) {
+  run_mpi(clean_options(2), [&](Proc& p) {
+    if (p.world_rank() == 0) {
+      int v = 42;
+      p.send(&v, 1, Datatype::kInt32, 1, 7, p.comm_world());
+    } else {
+      p.sim().advance(ms(1));
+      Status st;
+      EXPECT_TRUE(p.iprobe(0, 7, p.comm_world(), &st));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 4);
+      // Probe again — still there (not consumed).
+      EXPECT_TRUE(p.iprobe(kAnySource, kAnyTag, p.comm_world()));
+      int v = 0;
+      p.recv(&v, 1, Datatype::kInt32, 0, 7, p.comm_world());
+      EXPECT_EQ(v, 42);
+      EXPECT_FALSE(p.iprobe(kAnySource, kAnyTag, p.comm_world()));
+    }
+  });
+}
+
+TEST(P2PExtra, BlockingProbeWaitsForEnvelope) {
+  VTime probed_at;
+  Status st;
+  run_mpi(clean_options(2), [&](Proc& p) {
+    if (p.world_rank() == 0) {
+      p.sim().advance(ms(9));
+      int v = 1;
+      p.send(&v, 1, Datatype::kInt32, 1, 4, p.comm_world());
+    } else {
+      p.probe(kAnySource, 4, p.comm_world(), &st);
+      probed_at = p.sim().now();
+      int v = 0;
+      p.recv(&v, 1, Datatype::kInt32, st.source, st.tag, p.comm_world());
+    }
+  });
+  EXPECT_EQ(probed_at, VTime::zero() + ms(9));
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 4);
+}
+
+TEST(P2PExtra, ProbeDrivenVariableLengthReceive) {
+  // The classic probe use case: learn the size, then allocate and receive.
+  std::vector<std::int32_t> received;
+  run_mpi(clean_options(2), [&](Proc& p) {
+    if (p.world_rank() == 0) {
+      std::vector<std::int32_t> data(37, 5);
+      p.send(data.data(), 37, Datatype::kInt32, 1, 0, p.comm_world());
+    } else {
+      Status st;
+      p.probe(0, 0, p.comm_world(), &st);
+      received.resize(static_cast<std::size_t>(st.count));
+      p.recv(received.data(), st.count, Datatype::kInt32, 0, 0,
+             p.comm_world());
+    }
+  });
+  ASSERT_EQ(received.size(), 37u);
+  EXPECT_EQ(received[36], 5);
+}
+
+TEST(P2PExtra, ProbeOnMissingMessageDeadlocks) {
+  EXPECT_THROW(run_mpi(clean_options(2),
+                       [&](Proc& p) {
+                         if (p.world_rank() == 1) {
+                           Status st;
+                           p.probe(0, 0, p.comm_world(), &st);
+                         }
+                       }),
+               DeadlockError);
+}
+
+TEST(CollExtra, ReduceScatterBlockDistributesReduction) {
+  // Inputs: rank r contributes blocks [r*10+i]; block i of the elementwise
+  // sum lands on rank i.
+  const int np = 3;
+  std::vector<int> got(np, -1);
+  run_mpi(clean_options(np), [&](Proc& p) {
+    const int me = p.world_rank();
+    std::vector<std::int32_t> in(static_cast<std::size_t>(np));
+    for (int i = 0; i < np; ++i) {
+      in[static_cast<std::size_t>(i)] = 10 * me + i;
+    }
+    std::int32_t out = -1;
+    p.reduce_scatter_block(in.data(), &out, 1, Datatype::kInt32,
+                           ReduceOp::kSum, p.comm_world());
+    got[static_cast<std::size_t>(me)] = out;
+  });
+  // Block i = sum over ranks of (10*r + i) = 10*(0+1+2) + 3*i = 30 + 3i.
+  EXPECT_EQ(got, (std::vector<int>{30, 33, 36}));
+}
+
+TEST(CollExtra, ReduceScatterIsNxNShaped) {
+  std::vector<VTime> after(2);
+  run_mpi(clean_options(2), [&](Proc& p) {
+    std::vector<double> in(2, 1.0);
+    double out = 0;
+    p.sim().advance(ms(7 * p.world_rank()));
+    p.reduce_scatter_block(in.data(), &out, 1, Datatype::kDouble,
+                           ReduceOp::kSum, p.comm_world());
+    after[static_cast<std::size_t>(p.world_rank())] = p.sim().now();
+  });
+  EXPECT_EQ(after[0], VTime::zero() + ms(7));
+  EXPECT_EQ(after[1], VTime::zero() + ms(7));
+}
+
+TEST(CollExtra, DoubleEntryIsCaught) {
+  // Two collectives racing on the same sequence number is impossible, but
+  // the runtime also guards against one rank entering the same instance
+  // twice via inconsistent per-rank histories — simulated here by giving
+  // rank 1 one extra barrier, which ends in a deadlock, not silent
+  // corruption.
+  EXPECT_THROW(run_mpi(clean_options(2),
+                       [&](Proc& p) {
+                         p.barrier(p.comm_world());
+                         if (p.world_rank() == 1) p.barrier(p.comm_world());
+                       }),
+               DeadlockError);
+}
+
+TEST(CollExtra, MakespanScalesWithLogP) {
+  // With the stock cost model, a barrier costs coll_stage * ceil(log2 p);
+  // check the makespan ordering over p (shape check, not absolute).
+  VDur last = VDur::zero();
+  for (int np : {2, 4, 16}) {
+    MpiRunOptions opt;
+    opt.nprocs = np;
+    opt.cost = testutil::clean_mpi_cost();
+    opt.cost.coll_stage = VDur::micros(10);
+    auto result = run_mpi(opt, [&](Proc& p) { p.barrier(p.comm_world()); });
+    const VDur span = result.makespan - VTime::zero();
+    EXPECT_GT(span, last) << np;
+    last = span;
+  }
+}
+
+TEST(P2PExtra, InterleavedCommTraffic) {
+  // Simultaneous shift traffic on world and reversed traffic on a dup —
+  // both must complete and deliver correct data.
+  const int np = 4;
+  run_mpi(clean_options(np), [&](Proc& p) {
+    Comm& d = p.dup(p.comm_world());
+    const int me = p.world_rank();
+    int out1 = 100 + me, in1 = -1, out2 = 200 + me, in2 = -1;
+    Request r1 = p.irecv(&in1, 1, Datatype::kInt32, (me + np - 1) % np, 1,
+                         p.comm_world());
+    Request r2 =
+        p.irecv(&in2, 1, Datatype::kInt32, (me + 1) % np, 2, d);
+    p.send(&out1, 1, Datatype::kInt32, (me + 1) % np, 1, p.comm_world());
+    p.send(&out2, 1, Datatype::kInt32, (me + np - 1) % np, 2, d);
+    std::array<Request, 2> reqs{r1, r2};
+    p.waitall(reqs);
+    EXPECT_EQ(in1, 100 + (me + np - 1) % np);
+    EXPECT_EQ(in2, 200 + (me + 1) % np);
+  });
+}
+
+}  // namespace
+}  // namespace ats::mpi

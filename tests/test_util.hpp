@@ -1,0 +1,86 @@
+// Shared helpers for ATS tests: zero-overhead cost models so virtual-time
+// assertions are exact, and one-call runners for property functions.
+#pragma once
+
+#include "analyzer/analyzer.hpp"
+#include "core/composite.hpp"
+#include "core/properties.hpp"
+#include "mpisim/world.hpp"
+#include "ompsim/omp.hpp"
+
+namespace ats::testutil {
+
+inline mpi::CostModel clean_mpi_cost() {
+  mpi::CostModel cm;
+  cm.p2p_latency = VDur::zero();
+  cm.bandwidth_bytes_per_sec = 1e15;
+  cm.send_overhead = VDur::zero();
+  cm.recv_overhead = VDur::zero();
+  cm.coll_stage = VDur::zero();
+  cm.init_cost = VDur::zero();
+  cm.finalize_cost = VDur::zero();
+  return cm;
+}
+
+inline omp::OmpCostModel clean_omp_cost() {
+  omp::OmpCostModel cm;
+  cm.fork_cost = VDur::zero();
+  cm.barrier_cost = VDur::zero();
+  cm.sched_chunk_cost = VDur::zero();
+  cm.lock_cost = VDur::zero();
+  return cm;
+}
+
+/// Runs an MPI body with clean costs and returns the trace.
+inline trace::Trace run_mpi_traced(int nprocs,
+                                   const std::function<void(mpi::Proc&)>& body) {
+  mpi::MpiRunOptions opt;
+  opt.nprocs = nprocs;
+  opt.cost = clean_mpi_cost();
+  return mpi::run_mpi(opt, body).trace;
+}
+
+/// Runs an MPI property-function body (PropCtx-based) with clean costs.
+inline trace::Trace run_prop(
+    int nprocs, const std::function<void(core::PropCtx&)>& body) {
+  return run_mpi_traced(nprocs, [&](mpi::Proc& p) {
+    core::PropCtx ctx = core::PropCtx::from(p);
+    body(ctx);
+  });
+}
+
+/// Runs an MPI+OpenMP (hybrid) property body with clean costs.
+inline trace::Trace run_prop_hybrid(
+    int nprocs, const std::function<void(core::PropCtx&)>& body) {
+  mpi::MpiRunOptions opt;
+  opt.nprocs = nprocs;
+  opt.cost = clean_mpi_cost();
+  return mpi::run_mpi(opt,
+                      [&](mpi::Proc& p) {
+                        omp::Runtime rt(p.world().trace(), clean_omp_cost());
+                        core::PropCtx ctx = core::PropCtx::from(p, &rt);
+                        body(ctx);
+                      })
+      .trace;
+}
+
+/// Runs a pure-OpenMP property body with clean costs.
+inline trace::Trace run_prop_omp(
+    const std::function<void(core::PropCtx&)>& body) {
+  omp::OmpRunOptions opt;
+  opt.cost = clean_omp_cost();
+  return omp::run_omp(opt,
+                      [&](simt::Context& ctx, omp::Runtime& rt) {
+                        core::PropCtx pc = core::PropCtx::from(ctx, rt);
+                        body(pc);
+                      })
+      .trace;
+}
+
+/// Analyzer severity (subtree) of `p` as a fraction of total time.
+inline double severity_frac(const analyze::AnalysisResult& r,
+                            analyze::PropertyId p) {
+  return r.severity_fraction(p);
+}
+
+}  // namespace ats::testutil
