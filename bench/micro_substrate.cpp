@@ -6,11 +6,14 @@
 // host time.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "analyzer/analyzer.hpp"
 #include "core/distribution.hpp"
 #include "core/properties.hpp"
+#include "gen/experiment.hpp"
 #include "mpisim/world.hpp"
 #include "report/timeline.hpp"
 #include "simt/engine.hpp"
@@ -107,6 +110,105 @@ void BM_AnalyzerReplay(benchmark::State& state) {
   state.counters["events"] = static_cast<double>(tr.event_count());
 }
 BENCHMARK(BM_AnalyzerReplay)->Unit(benchmark::kMillisecond);
+
+void BM_TraceMerge(benchmark::State& state) {
+  // Streaming k-way heap merge over the per-location buffers (the replay's
+  // event source); compare with BM_TraceMergeStableSort below.
+  const trace::Trace tr = make_trace(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t n = 0;
+    VTime last = VTime::zero();
+    tr.for_each_merged([&](const trace::Event& e) {
+      ++n;
+      last = e.t;
+    });
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tr.event_count()));
+}
+BENCHMARK(BM_TraceMerge)
+    ->ArgName("reps")
+    ->Arg(20)
+    ->Arg(200)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceMergeStableSort(benchmark::State& state) {
+  // The seed's merged(): collect every event pointer, stable_sort by
+  // (t, loc).  Kept as the O(n log n) reference the k-way merge replaced.
+  const trace::Trace tr = make_trace(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<const trace::Event*> out;
+    out.reserve(tr.event_count());
+    for (std::size_t l = 0; l < tr.location_count(); ++l) {
+      for (const auto& e : tr.events_of(static_cast<trace::LocId>(l))) {
+        out.push_back(&e);
+      }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const trace::Event* a, const trace::Event* b) {
+                       if (a->t != b->t) return a->t < b->t;
+                       return a->loc < b->loc;
+                     });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tr.event_count()));
+}
+BENCHMARK(BM_TraceMergeStableSort)
+    ->ArgName("reps")
+    ->Arg(20)
+    ->Arg(200)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SeverityCubeAdd(benchmark::State& state) {
+  // The replay's hot severity-attribution path: one add() per event,
+  // hitting a few dozen distinct (property, node) cells.
+  const int adds = 4096;
+  const int nodes = 48;
+  const int nlocs = 16;
+  for (auto _ : state) {
+    analyze::SeverityCube cube(nlocs);
+    for (int i = 0; i < adds; ++i) {
+      cube.add(analyze::PropertyId::kLateSender,
+               static_cast<analyze::NodeId>(i % nodes),
+               static_cast<trace::LocId>(i % nlocs), VDur::nanos(i + 1));
+    }
+    benchmark::DoNotOptimize(
+        cube.total(analyze::PropertyId::kLateSender));
+  }
+  state.SetItemsProcessed(state.iterations() * adds);
+}
+BENCHMARK(BM_SeverityCubeAdd);
+
+void BM_ExperimentGrid(benchmark::State& state) {
+  // A full sweep (grid of independent simulations) at a given worker
+  // count; results are bit-identical across counts, only wall time moves.
+  gen::ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.base.set("basework", "0.005");
+  plan.base.set("r", "2");
+  plan.axis = {"extrawork",
+               {"0.005", "0.01", "0.015", "0.02", "0.025", "0.03", "0.035",
+                "0.04"}};
+  plan.config.nprocs = 4;
+  plan.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto rows = gen::run_experiment(plan);
+    benchmark::DoNotOptimize(rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(plan.axis.values.size()));
+}
+BENCHMARK(BM_ExperimentGrid)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TraceSerialise(benchmark::State& state) {
   const trace::Trace tr = make_trace(8, 20);

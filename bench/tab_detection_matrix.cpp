@@ -6,11 +6,30 @@
 // dominant; run the canonical negative configuration and check the
 // analyzer stays below threshold.  This is the headline quantitative
 // result of the reproduction: a correct tool scores 100% on both columns.
+//
+// Every matrix cell is an independent deterministic simulation, so the
+// sweep fans out across a thread pool (ATS_JOBS / hardware threads); each
+// cell writes a pre-sized slot and the report is printed sequentially, so
+// the output is byte-identical for any worker count.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/strutil.hpp"
+
+namespace {
+
+struct MatrixRow {
+  std::string pos_verdict = "-";
+  std::string dominant_name = "-";
+  bool pos_counted = false;
+  bool pos_hit = false;
+  bool neg_quiet = false;
+};
+
+}  // namespace
 
 int main() {
   using namespace ats;
@@ -21,43 +40,53 @@ int main() {
       "expected property", "positive", "negative", "dominant finding (pos)");
   std::printf("%s\n", std::string(110, '-').c_str());
 
-  int pos_ok = 0, pos_total = 0, neg_ok = 0, neg_total = 0;
-  for (const auto& def : gen::Registry::instance().all()) {
+  const auto& defs = gen::Registry::instance().all();
+  std::vector<MatrixRow> rows(defs.size());
+  par::ThreadPool pool;
+  pool.parallel_for(defs.size(), [&](std::size_t i) {
+    const auto& def = defs[i];
+    MatrixRow& row = rows[i];
     const gen::RunConfig cfg =
         benchutil::default_config(std::max(def.min_procs, 4));
 
     // Positive run.
-    std::string pos_verdict = "-";
-    std::string dominant_name = "-";
     if (def.expected.has_value()) {
-      ++pos_total;
+      row.pos_counted = true;
       const trace::Trace tr =
           gen::run_single_property(def, def.positive, cfg);
       const auto result = analyze::analyze(tr);
       const auto dom = result.dominant();
       if (dom.has_value()) {
-        dominant_name = std::string(analyze::property_name(dom->prop)) +
-                        " (" + fmt_percent(dom->fraction, 1) + ")";
+        row.dominant_name = std::string(analyze::property_name(dom->prop)) +
+                            " (" + fmt_percent(dom->fraction, 1) + ")";
       }
-      const bool hit = dom && dom->prop == *def.expected;
-      pos_verdict = hit ? "DETECTED" : "MISSED";
-      if (hit) ++pos_ok;
+      row.pos_hit = dom && dom->prop == *def.expected;
+      row.pos_verdict = row.pos_hit ? "DETECTED" : "MISSED";
     }
 
     // Negative run.
-    ++neg_total;
     const trace::Trace tr = gen::run_single_property(def, def.negative, cfg);
     const auto result = analyze::analyze(tr);
     const auto dom = result.dominant();
-    const bool quiet = !dom || dom->fraction < 0.02;
-    if (quiet) ++neg_ok;
+    row.neg_quiet = !dom || dom->fraction < 0.02;
+  });
 
+  int pos_ok = 0, pos_total = 0, neg_ok = 0, neg_total = 0;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    const auto& def = defs[i];
+    const MatrixRow& row = rows[i];
+    if (row.pos_counted) {
+      ++pos_total;
+      if (row.pos_hit) ++pos_ok;
+    }
+    ++neg_total;
+    if (row.neg_quiet) ++neg_ok;
     std::printf("%-30s %-10s %-26s %-9s %-9s %s\n", def.name.c_str(),
                 gen::to_string(def.paradigm),
                 def.expected ? analyze::property_name(*def.expected)
                              : "(none)",
-                pos_verdict.c_str(), quiet ? "quiet" : "FLAGGED",
-                dominant_name.c_str());
+                row.pos_verdict.c_str(), row.neg_quiet ? "quiet" : "FLAGGED",
+                row.dominant_name.c_str());
   }
 
   std::printf("%s\n", std::string(110, '-').c_str());
@@ -75,24 +104,33 @@ int main() {
   analyze::AnalyzerOptions crippled;
   crippled.disabled_patterns = {analyze::PropertyId::kLateSender,
                                 analyze::PropertyId::kWaitAtBarrier};
-  int missed_as_expected = 0, should_miss = 0;
-  for (const auto& def : gen::Registry::instance().all()) {
-    if (!def.expected.has_value()) continue;
-    const bool affected =
-        *def.expected == analyze::PropertyId::kLateSender ||
-        *def.expected == analyze::PropertyId::kWaitAtBarrier;
-    if (!affected) continue;
-    ++should_miss;
+  std::vector<const gen::PropertyDef*> affected;
+  for (const auto& def : defs) {
+    if (def.expected.has_value() &&
+        (*def.expected == analyze::PropertyId::kLateSender ||
+         *def.expected == analyze::PropertyId::kWaitAtBarrier)) {
+      affected.push_back(&def);
+    }
+  }
+  // vector<char>, not vector<bool>: cells write concurrently and
+  // vector<bool> packs bits.
+  std::vector<char> still_hit(affected.size(), 0);
+  pool.parallel_for(affected.size(), [&](std::size_t i) {
+    const auto& def = *affected[i];
     const gen::RunConfig cfg =
         benchutil::default_config(std::max(def.min_procs, 4));
     const trace::Trace tr = gen::run_single_property(def, def.positive, cfg);
     const auto result = analyze::analyze(tr, crippled);
     const auto dom = result.dominant();
-    const bool hit = dom && dom->prop == *def.expected;
-    if (!hit) ++missed_as_expected;
-    std::printf("%-30s -> %s\n", def.name.c_str(),
-                hit ? "still detected (fault injection failed?)"
-                    : "MISSED — the suite exposes the defect");
+    still_hit[i] = dom && dom->prop == *def.expected;
+  });
+  int missed_as_expected = 0;
+  const int should_miss = static_cast<int>(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    if (!still_hit[i]) ++missed_as_expected;
+    std::printf("%-30s -> %s\n", affected[i]->name.c_str(),
+                still_hit[i] ? "still detected (fault injection failed?)"
+                             : "MISSED — the suite exposes the defect");
   }
   std::printf("\ncrippled tool failed %d/%d affected positive tests — the "
               "suite works\n",

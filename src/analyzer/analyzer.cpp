@@ -4,7 +4,7 @@
 #include <deque>
 #include <map>
 #include <set>
-#include <tuple>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/strutil.hpp"
@@ -16,19 +16,36 @@ bool AnalyzerOptions::is_disabled(PropertyId p) const {
          disabled_patterns.end();
 }
 
+std::bitset<kPropertyCount> AnalyzerOptions::disabled_mask() const {
+  std::bitset<kPropertyCount> mask;
+  for (PropertyId p : disabled_patterns) {
+    mask.set(static_cast<std::size_t>(p));
+  }
+  return mask;
+}
+
 // ------------------------------------------------------------ SeverityCube
 
 SeverityCube::SeverityCube(std::size_t nlocs)
-    : nlocs_(nlocs), cells_(kPropertyCount) {}
+    : nlocs_(nlocs), cells_(kPropertyCount), index_(kPropertyCount) {}
+
+const SeverityCube::Cell* SeverityCube::find_cell(PropertyId p,
+                                                  NodeId n) const {
+  const auto& idx = index_[static_cast<std::size_t>(p)];
+  const auto it = idx.find(n);
+  if (it == idx.end()) return nullptr;
+  return &cells_[static_cast<std::size_t>(p)][it->second];
+}
 
 void SeverityCube::add(PropertyId p, NodeId n, trace::LocId loc, VDur d) {
   if (d <= VDur::zero()) return;
   auto& list = cells_[static_cast<std::size_t>(p)];
-  for (auto& cell : list) {
-    if (cell.node == n) {
-      cell.per_loc[static_cast<std::size_t>(loc)] += d;
-      return;
-    }
+  auto& idx = index_[static_cast<std::size_t>(p)];
+  const auto [it, inserted] =
+      idx.emplace(n, static_cast<std::uint32_t>(list.size()));
+  if (!inserted) {
+    list[it->second].per_loc[static_cast<std::size_t>(loc)] += d;
+    return;
   }
   Cell cell;
   cell.node = n;
@@ -38,18 +55,15 @@ void SeverityCube::add(PropertyId p, NodeId n, trace::LocId loc, VDur d) {
 }
 
 VDur SeverityCube::at(PropertyId p, NodeId n, trace::LocId loc) const {
-  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
-    if (cell.node == n) return cell.per_loc[static_cast<std::size_t>(loc)];
-  }
-  return VDur::zero();
+  const Cell* cell = find_cell(p, n);
+  return cell ? cell->per_loc[static_cast<std::size_t>(loc)] : VDur::zero();
 }
 
 VDur SeverityCube::node_total(PropertyId p, NodeId n) const {
+  const Cell* cell = find_cell(p, n);
   VDur sum = VDur::zero();
-  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
-    if (cell.node == n) {
-      for (const auto& d : cell.per_loc) sum += d;
-    }
+  if (cell) {
+    for (const auto& d : cell->per_loc) sum += d;
   }
   return sum;
 }
@@ -78,9 +92,8 @@ std::vector<NodeId> SeverityCube::nodes_of(PropertyId p) const {
 }
 
 std::vector<VDur> SeverityCube::locations_of(PropertyId p, NodeId n) const {
-  for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
-    if (cell.node == n) return cell.per_loc;
-  }
+  const Cell* cell = find_cell(p, n);
+  if (cell) return cell->per_loc;
   return std::vector<VDur>(nlocs_, VDur::zero());
 }
 
@@ -144,6 +157,51 @@ struct CollRec {
   std::string encl_name;
 };
 
+/// 128-bit packed hash key for the replay's hot lookup tables (message
+/// matching, collective grouping).  Replaces tuple-keyed std::maps: the
+/// replay performs one lookup per send/recv/coll event, and the red-black
+/// tree walk plus tuple comparisons dominated the replay profile.
+struct Key128 {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool operator==(const Key128&) const = default;
+};
+
+/// (comm, src, dst, tag) — the message-matching key.
+Key128 msg_key(std::int32_t comm, std::int32_t src, std::int32_t dst,
+               std::int32_t tag) {
+  Key128 k;
+  k.a = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) << 32) |
+        static_cast<std::uint32_t>(src);
+  k.b = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32) |
+        static_cast<std::uint32_t>(tag);
+  return k;
+}
+
+/// A (comm, x) pair key: collective grouping (x = seq) and the pending-send
+/// set (x = destination loc).
+Key128 pair_key(std::int32_t comm, std::int64_t x) {
+  Key128 k;
+  k.a = static_cast<std::uint32_t>(comm);
+  k.b = static_cast<std::uint64_t>(x);
+  return k;
+}
+
+struct Key128Hash {
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finaliser
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+  std::size_t operator()(const Key128& k) const {
+    return static_cast<std::size_t>(mix(k.a ^ mix(k.b)));
+  }
+};
+
 /// True for kinds counted as "MPI time".
 bool is_mpi_kind(trace::RegionKind k) {
   return k == trace::RegionKind::kMpiP2P ||
@@ -162,6 +220,7 @@ class Replay {
   Replay(const trace::Trace& trace, const AnalyzerOptions& options)
       : trace_(trace),
         options_(options),
+        disabled_(options.disabled_mask()),
         nlocs_(trace.location_count()),
         profile_(nlocs_),
         cube_(nlocs_),
@@ -169,7 +228,14 @@ class Replay {
         send_intervals_(nlocs_),
         first_(nlocs_, VTime::max()),
         last_(nlocs_, VTime::zero()),
-        seen_(nlocs_, false) {}
+        seen_(nlocs_, false) {
+    // Pre-size the hot tables; distinct keys scale with location pairs,
+    // not with events.
+    sends_.reserve(nlocs_ * 4);
+    orphans_.reserve(nlocs_);
+    pending_to_.reserve(nlocs_ * 2);
+    colls_.reserve(nlocs_);
+  }
 
   AnalysisResult run();
 
@@ -182,7 +248,7 @@ class Replay {
   /// Wait-state severity attribution, honouring fault-injected pattern
   /// deactivation (AnalyzerOptions::disabled_patterns).
   void add_wait(PropertyId p, NodeId n, trace::LocId loc, VDur d) {
-    if (options_.is_disabled(p)) return;
+    if (disabled_[static_cast<std::size_t>(p)]) return;
     cube_.add(p, n, loc, d);
   }
 
@@ -202,6 +268,7 @@ class Replay {
 
   const trace::Trace& trace_;
   AnalyzerOptions options_;
+  std::bitset<kPropertyCount> disabled_;
   std::size_t nlocs_;
   CallPathProfile profile_;
   SeverityCube cube_;
@@ -212,14 +279,16 @@ class Replay {
   std::vector<bool> seen_;
 
   // message matching: (comm, src loc, dst loc, tag) -> FIFO of sends
-  std::map<std::tuple<int, int, int, int>, std::deque<SendRec>> sends_;
+  std::unordered_map<Key128, std::deque<SendRec>, Key128Hash> sends_;
   // receive completions still waiting for their send record (same key)
-  std::map<std::tuple<int, int, int, int>, std::deque<OrphanRecv>> orphans_;
-  // unmatched send times per (comm, dst loc), for wrong-order detection
-  std::map<std::pair<int, int>, std::multiset<std::int64_t>> pending_to_;
+  std::unordered_map<Key128, std::deque<OrphanRecv>, Key128Hash> orphans_;
+  // unmatched send times per (comm, dst loc), for wrong-order detection;
+  // the multiset keeps them ordered so the oldest pending send is O(1).
+  std::unordered_map<Key128, std::multiset<std::int64_t>, Key128Hash>
+      pending_to_;
   std::vector<LrCandidate> lr_candidates_;
   // collective grouping: (comm, seq) -> records so far
-  std::map<std::pair<int, std::int64_t>, std::vector<CollRec>> colls_;
+  std::unordered_map<Key128, std::vector<CollRec>, Key128Hash> colls_;
 
   VDur total_time_ = VDur::zero();
 };
@@ -257,7 +326,7 @@ void Replay::on_exit(const trace::Event& e) {
 }
 
 void Replay::on_send(const trace::Event& e) {
-  const auto key = std::make_tuple(e.comm, e.loc, e.peer, e.tag);
+  const Key128 key = msg_key(e.comm, e.loc, e.peer, e.tag);
   auto oit = orphans_.find(key);
   if (oit != orphans_.end() && !oit->second.empty()) {
     // A receive completion (equal timestamp, lower location id) was seen
@@ -275,7 +344,7 @@ void Replay::on_send(const trace::Event& e) {
     return;
   }
   sends_[key].push_back(SendRec{e.t});
-  pending_to_[{e.comm, e.peer}].insert(e.t.ns());
+  pending_to_[pair_key(e.comm, e.peer)].insert(e.t.ns());
   // Remember the enclosing blocking-send interval (exit filled on region
   // exit); used by the late-receiver post-pass.
   const auto& st = stacks_[static_cast<std::size_t>(e.loc)];
@@ -289,7 +358,7 @@ void Replay::on_send(const trace::Event& e) {
 }
 
 void Replay::on_recv(const trace::Event& e) {
-  const auto key = std::make_tuple(e.comm, e.peer, e.loc, e.tag);
+  const Key128 key = msg_key(e.comm, e.peer, e.loc, e.tag);
 
   // The innermost enclosing P2P region is the waiting receive operation
   // (MPI_Recv, MPI_Wait, ...); resolve it first so an orphaned completion
@@ -320,7 +389,7 @@ void Replay::on_recv(const trace::Event& e) {
   const VTime send_t = it->second.front().t;
   it->second.pop_front();
   // This message is consumed: drop it from the pending set.
-  auto& pend = pending_to_[{e.comm, e.loc}];
+  auto& pend = pending_to_[pair_key(e.comm, e.loc)];
   const auto pit = pend.find(send_t.ns());
   if (pit != pend.end()) pend.erase(pit);
 
@@ -329,14 +398,9 @@ void Replay::on_recv(const trace::Event& e) {
   const VDur wait = non_negative(earlier(send_t, e.t) - recv_enter);
   if (wait > VDur::zero()) {
     // Wrong order: another message for us was already under way before the
-    // one we insisted on receiving was even sent.
-    bool wrong_order = false;
-    for (const std::int64_t t : pend) {
-      if (t < send_t.ns()) {
-        wrong_order = true;
-        break;
-      }
-    }
+    // one we insisted on receiving was even sent.  The multiset is ordered,
+    // so checking its minimum suffices.
+    const bool wrong_order = !pend.empty() && *pend.begin() < send_t.ns();
     add_wait(wrong_order ? PropertyId::kLateSenderWrongOrder
                          : PropertyId::kLateSender,
              recv_node, e.loc, wait);
@@ -359,12 +423,12 @@ void Replay::on_coll_end(const trace::Event& e) {
     rec.node = kRootNode;
     rec.encl_kind = trace::RegionKind::kUser;
   }
-  auto& group = colls_[{e.comm, e.seq}];
+  auto& group = colls_[pair_key(e.comm, e.seq)];
   group.push_back(std::move(rec));
   const std::size_t expected = trace_.comm(e.comm).members.size();
   if (group.size() == expected) {
     process_coll_group(e.op, e.root, group);
-    colls_.erase({e.comm, e.seq});
+    colls_.erase(pair_key(e.comm, e.seq));
   }
 }
 
@@ -606,21 +670,24 @@ void Replay::rank_findings(AnalysisResult& result) const {
 }
 
 AnalysisResult Replay::run() {
-  for (const trace::Event* e : trace_.merged()) {
-    const std::size_t loc = static_cast<std::size_t>(e->loc);
-    first_[loc] = earlier(first_[loc], e->t);
-    last_[loc] = later(last_[loc], e->t);
+  // Stream the k-way merge: the replay touches each event exactly once, so
+  // materialising (and caching) the merged pointer vector would only cost
+  // allocations.
+  trace_.for_each_merged([&](const trace::Event& e) {
+    const std::size_t loc = static_cast<std::size_t>(e.loc);
+    first_[loc] = earlier(first_[loc], e.t);
+    last_[loc] = later(last_[loc], e.t);
     seen_[loc] = true;
-    switch (e->type) {
-      case trace::EventType::kEnter: on_enter(*e); break;
-      case trace::EventType::kExit: on_exit(*e); break;
-      case trace::EventType::kSend: on_send(*e); break;
-      case trace::EventType::kRecv: on_recv(*e); break;
-      case trace::EventType::kCollEnd: on_coll_end(*e); break;
-      case trace::EventType::kLockAcquire: on_lock_acquire(*e); break;
+    switch (e.type) {
+      case trace::EventType::kEnter: on_enter(e); break;
+      case trace::EventType::kExit: on_exit(e); break;
+      case trace::EventType::kSend: on_send(e); break;
+      case trace::EventType::kRecv: on_recv(e); break;
+      case trace::EventType::kCollEnd: on_coll_end(e); break;
+      case trace::EventType::kLockAcquire: on_lock_acquire(e); break;
       case trace::EventType::kLockRelease: break;
     }
-  }
+  });
   finish_open_regions();
   late_receiver_pass();
   classify_structural();

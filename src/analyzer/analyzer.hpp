@@ -9,8 +9,10 @@
 // logic.
 #pragma once
 
+#include <bitset>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "analyzer/profile.hpp"
@@ -46,9 +48,16 @@ class SeverityCube {
     NodeId node;
     std::vector<VDur> per_loc;
   };
+  const Cell* find_cell(PropertyId p, NodeId n) const;
+
   std::size_t nlocs_;
-  // One sparse (node -> per-loc) list per property.
+  // One sparse (node -> per-loc) list per property; cell order is first-add
+  // order (it feeds nodes_of(), which sorts, so lookups never scan).
   std::vector<std::vector<Cell>> cells_;
+  // node -> position in cells_[p], one index per property.  The replay adds
+  // one severity entry per *event*, so without the index add() is a linear
+  // scan per event (O(cells) each) on hot traces.
+  std::vector<std::unordered_map<NodeId, std::uint32_t>> index_;
 };
 
 /// One ranked result: a leaf wait-state with its total severity.
@@ -72,6 +81,9 @@ struct AnalyzerOptions {
   std::vector<PropertyId> disabled_patterns;
 
   bool is_disabled(PropertyId p) const;
+  /// disabled_patterns as a bitset, computed once per analysis so the
+  /// per-event replay checks are a single bit test instead of a std::find.
+  std::bitset<kPropertyCount> disabled_mask() const;
 };
 
 struct AnalysisResult {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/parallel.hpp"
 #include "common/strutil.hpp"
 
 namespace ats::gen {
@@ -11,9 +12,13 @@ std::vector<ExperimentRow> run_experiment(const ExperimentPlan& plan) {
   require(!plan.axis.param.empty(), "experiment: sweep axis has no name");
   require(!plan.axis.values.empty(), "experiment: sweep axis has no values");
 
-  std::vector<ExperimentRow> rows;
-  rows.reserve(plan.axis.values.size());
-  for (const std::string& value : plan.axis.values) {
+  // Each cell simulates, analyzes, and writes exactly one pre-sized slot;
+  // cells share only the immutable plan, so the row vector is identical for
+  // any worker count.
+  std::vector<ExperimentRow> rows(plan.axis.values.size());
+  par::ThreadPool pool(plan.jobs);
+  pool.parallel_for(plan.axis.values.size(), [&](std::size_t i) {
+    const std::string& value = plan.axis.values[i];
     ParamMap pm = plan.base;
     RunConfig cfg = plan.config;
     if (plan.axis.param == "np") {
@@ -39,8 +44,8 @@ std::vector<ExperimentRow> run_experiment(const ExperimentPlan& plan) {
     row.dominant = dom ? analyze::property_name(dom->prop) : "-";
     row.detected =
         def.expected.has_value() && dom && dom->prop == *def.expected;
-    rows.push_back(std::move(row));
-  }
+    rows[i] = std::move(row);
+  });
   return rows;
 }
 

@@ -30,6 +30,12 @@ struct ExperimentPlan {
   SweepAxis axis;
   RunConfig config{};
   analyze::AnalyzerOptions analyzer{};
+  /// Worker threads for the sweep: every grid cell is an independent
+  /// deterministic simulation, so cells fan out across a thread pool and
+  /// write into pre-sized row slots — output is bit-identical to a
+  /// sequential run.  0 = ATS_JOBS / hardware_concurrency (par::default_jobs),
+  /// 1 = forced sequential (the determinism-test reference path).
+  int jobs = 0;
 };
 
 struct ExperimentRow {
@@ -41,7 +47,9 @@ struct ExperimentRow {
   VDur total_time;
 };
 
-/// Runs the sweep; one row per axis value, in order.
+/// Runs the sweep; one row per axis value, in order.  Cells run in
+/// parallel per ExperimentPlan::jobs; results are independent of the
+/// worker count.
 std::vector<ExperimentRow> run_experiment(const ExperimentPlan& plan);
 
 /// Renders rows as CSV (header + one line per row).

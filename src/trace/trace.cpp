@@ -135,6 +135,8 @@ void Trace::add_location(LocationInfo info) {
   }
   locations_.push_back(std::move(info));
   per_loc_.emplace_back();
+  loc_sorted_.push_back(true);
+  merged_valid_ = false;
 }
 
 CommId Trace::add_comm(CommKind kind, std::vector<LocId> members,
@@ -167,7 +169,12 @@ void Trace::push(LocId loc, Event e) {
   if (loc < 0 || static_cast<std::size_t>(loc) >= per_loc_.size()) {
     throw TraceError("event for unknown location " + std::to_string(loc));
   }
-  per_loc_[static_cast<std::size_t>(loc)].push_back(e);
+  auto& v = per_loc_[static_cast<std::size_t>(loc)];
+  if (!v.empty() && e.t < v.back().t) {
+    loc_sorted_[static_cast<std::size_t>(loc)] = false;
+  }
+  v.push_back(e);
+  merged_valid_ = false;
 }
 
 void Trace::enter(LocId loc, VTime t, RegionId region) {
@@ -262,18 +269,73 @@ std::size_t Trace::event_count() const {
   return n;
 }
 
-std::vector<const Event*> Trace::merged() const {
-  std::vector<const Event*> out;
-  out.reserve(event_count());
-  for (const auto& v : per_loc_) {
-    for (const auto& e : v) out.push_back(&e);
+const std::vector<const Event*>& Trace::merged() const {
+  if (!merged_valid_) {
+    merged_cache_.clear();
+    merged_cache_.reserve(event_count());
+    for_each_merged([&](const Event& e) { merged_cache_.push_back(&e); });
+    merged_valid_ = true;
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Event* a, const Event* b) {
-                     if (a->t != b->t) return a->t < b->t;
-                     return a->loc < b->loc;
-                   });
-  return out;
+  return merged_cache_;
+}
+
+// ------------------------------------------------------------ MergeCursor
+
+MergeCursor::MergeCursor(const Trace& trace) {
+  heap_.reserve(trace.per_loc_.size());
+  for (std::size_t l = 0; l < trace.per_loc_.size(); ++l) {
+    const auto& v = trace.per_loc_[l];
+    if (v.empty()) continue;
+    Run run;
+    run.loc = static_cast<LocId>(l);
+    if (trace.loc_sorted_[l]) {
+      run.head = v.data();
+      run.end = v.data() + v.size();
+    } else {
+      // Hand-built trace recorded out of time order: stable-sort this
+      // location's pointers once so each run the heap sees is sorted.
+      if (remap_.empty()) remap_.resize(trace.per_loc_.size());
+      auto& remap = remap_[l];
+      remap.reserve(v.size());
+      for (const Event& e : v) remap.push_back(&e);
+      std::stable_sort(remap.begin(), remap.end(),
+                       [](const Event* a, const Event* b) {
+                         return a->t < b->t;
+                       });
+      run.rcur = remap.data();
+      run.rend = remap.data() + remap.size();
+      run.head = *run.rcur;
+      run.end = nullptr;
+    }
+    run.t = run.head->t.ns();
+    heap_.push_back(run);
+  }
+  // Build the min-heap bottom-up.
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+}
+
+const Event* MergeCursor::next() {
+  if (heap_.empty()) return nullptr;
+  Run& top = heap_.front();
+  const Event* e = top.head;
+  if (top.rcur == nullptr) {
+    if (++top.head == top.end) {
+      top = heap_.back();
+      heap_.pop_back();
+    } else {
+      top.t = top.head->t.ns();
+    }
+  } else {
+    if (++top.rcur == top.rend) {
+      top = heap_.back();
+      heap_.pop_back();
+    } else {
+      top.head = *top.rcur;
+      top.t = top.head->t.ns();
+    }
+  }
+  if (heap_.size() > 1) sift_down(0);
+  return e;
 }
 
 VTime Trace::end_time() const {

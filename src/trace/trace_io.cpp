@@ -4,9 +4,12 @@
 // line (so they may contain spaces).  Header "ATS-TRACE 1".  This lets test
 // programs dump traces that the standalone analyzer and report tools read
 // back — the same decoupling a real tool chain (EPILOG trace -> EXPERT) has.
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <type_traits>
 
 #include "trace/trace.hpp"
 
@@ -15,58 +18,97 @@ namespace ats::trace {
 namespace {
 constexpr const char* kMagic = "ATS-TRACE";
 constexpr int kVersion = 1;
+
+/// Appends whitespace-separated fields plus a newline to `out` without
+/// touching the stream: number -> string conversions go through
+/// std::to_string and land in one growing buffer.
+void put(std::string& out) { out += '\n'; }
+
+template <typename Head, typename... Tail>
+void put(std::string& out, const Head& head, const Tail&... tail) {
+  if constexpr (std::is_same_v<Head, std::string> ||
+                std::is_convertible_v<Head, const char*>) {
+    out += head;
+  } else {
+    out += std::to_string(head);
+  }
+  if constexpr (sizeof...(tail) > 0) out += ' ';
+  put(out, tail...);
+}
+
 }  // namespace
 
 void Trace::save(std::ostream& os) const {
-  os << kMagic << ' ' << kVersion << '\n';
+  // Serialise into one pre-reserved buffer and hand the stream a single
+  // batched write: per-event operator<< calls (7+ per event) dominated the
+  // serialisation profile.  ~48 bytes covers the longest event line.
+  std::string out;
+  out.reserve(64 + 48 * (regions_.size() + locations_.size() +
+                         comms_.size() + event_count()));
+  put(out, kMagic, kVersion);
   for (std::size_t i = 0; i < regions_.size(); ++i) {
     const RegionInfo& r = regions_.info(static_cast<RegionId>(i));
-    os << "region " << r.id << ' ' << to_string(r.kind) << ' ' << r.name
-       << '\n';
+    put(out, "region", r.id, to_string(r.kind), r.name);
   }
   for (const auto& l : locations_) {
-    os << "loc " << l.id << ' ' << l.parent << ' '
-       << (l.kind == LocKind::kProcess ? "process" : "thread") << ' '
-       << l.rank << ' ' << l.thread << ' ' << l.name << '\n';
+    put(out, "loc", l.id, l.parent,
+        l.kind == LocKind::kProcess ? "process" : "thread", l.rank, l.thread,
+        l.name);
   }
   for (const auto& c : comms_) {
-    os << "comm " << c.id << ' '
-       << (c.kind == CommKind::kMpiComm ? "mpi" : "team") << ' '
-       << c.members.size();
-    for (LocId m : c.members) os << ' ' << m;
-    os << ' ' << c.name << '\n';
+    out += "comm ";
+    out += std::to_string(c.id);
+    out += c.kind == CommKind::kMpiComm ? " mpi " : " team ";
+    out += std::to_string(c.members.size());
+    for (LocId m : c.members) {
+      out += ' ';
+      out += std::to_string(m);
+    }
+    out += ' ';
+    out += c.name;
+    out += '\n';
   }
   for (const auto& v : per_loc_) {
     for (const Event& e : v) {
       switch (e.type) {
         case EventType::kEnter:
-          os << "E " << e.loc << ' ' << e.t.ns() << ' ' << e.region << '\n';
+          put(out, "E", e.loc, e.t.ns(), e.region);
           break;
         case EventType::kExit:
-          os << "X " << e.loc << ' ' << e.t.ns() << ' ' << e.region << '\n';
+          put(out, "X", e.loc, e.t.ns(), e.region);
           break;
         case EventType::kSend:
-          os << "S " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << ' '
-             << e.tag << ' ' << e.comm << ' ' << e.bytes << '\n';
+          put(out, "S", e.loc, e.t.ns(), e.peer, e.tag, e.comm, e.bytes);
           break;
         case EventType::kRecv:
-          os << "R " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << ' '
-             << e.tag << ' ' << e.comm << ' ' << e.bytes << '\n';
+          put(out, "R", e.loc, e.t.ns(), e.peer, e.tag, e.comm, e.bytes);
           break;
         case EventType::kCollEnd:
-          os << "C " << e.loc << ' ' << e.t.ns() << ' ' << e.enter_t.ns()
-             << ' ' << e.comm << ' ' << e.seq << ' ' << to_string(e.op) << ' '
-             << e.root << ' ' << e.bytes << ' ' << e.bytes_out << '\n';
+          put(out, "C", e.loc, e.t.ns(), e.enter_t.ns(), e.comm, e.seq,
+              to_string(e.op), e.root, e.bytes, e.bytes_out);
           break;
         case EventType::kLockAcquire:
-          os << "LA " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << '\n';
+          put(out, "LA", e.loc, e.t.ns(), e.peer);
           break;
         case EventType::kLockRelease:
-          os << "LR " << e.loc << ' ' << e.t.ns() << ' ' << e.peer << '\n';
+          put(out, "LR", e.loc, e.t.ns(), e.peer);
           break;
       }
     }
   }
+  // Round-trip size assertion: one line per record.  Region/location/comm
+  // names are the only free-form fields and they never contain newlines, so
+  // a line-count mismatch means a serialisation bug that load() would
+  // misparse.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n'));
+  const std::size_t expected = 1 + regions_.size() + locations_.size() +
+                               comms_.size() + event_count();
+  if (lines != expected) {
+    throw TraceError("trace serialisation produced " + std::to_string(lines) +
+                     " records, expected " + std::to_string(expected));
+  }
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
 namespace {

@@ -2,7 +2,9 @@
 // ordering, metadata, serialisation round-trip, enable/disable.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "trace/trace.hpp"
@@ -102,6 +104,122 @@ TEST(Trace, MergedTieBreaksByLocation) {
   const auto m = t.merged();
   EXPECT_EQ(m[0]->loc, 0);
   EXPECT_EQ(m[1]->loc, 1);
+}
+
+/// The seed's merged(): collect + stable_sort by (t, loc).  The k-way merge
+/// must reproduce this order bit-for-bit, including all tie-break cases.
+std::vector<const Event*> reference_merged(const Trace& t) {
+  std::vector<const Event*> out;
+  for (std::size_t l = 0; l < t.location_count(); ++l) {
+    for (const auto& e : t.events_of(static_cast<LocId>(l))) {
+      out.push_back(&e);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->t != b->t) return a->t < b->t;
+                     return a->loc < b->loc;
+                   });
+  return out;
+}
+
+TEST(Trace, MergedPinsStableSortSemantics) {
+  // Equal timestamps within one location keep recording order; equal
+  // timestamps across locations order by location id.
+  Trace t;
+  t.add_location(proc_info(0, "a"));
+  t.add_location(proc_info(1, "b"));
+  t.add_location(proc_info(2, "c"));
+  const RegionId r = t.regions().intern("x", RegionKind::kUser);
+  const RegionId s = t.regions().intern("y", RegionKind::kWork);
+  // loc 1: three events at the same timestamp — recording order must hold.
+  t.enter(1, VTime(100), r);
+  t.enter(1, VTime(100), s);
+  t.exit(1, VTime(100), s);
+  // loc 0 and 2 collide with loc 1's timestamp — loc order must hold.
+  t.enter(2, VTime(100), r);
+  t.enter(0, VTime(100), r);
+  t.enter(0, VTime(50), r);  // out-of-order recording on loc 0
+  t.enter(2, VTime(150), r);
+
+  const auto ref = reference_merged(t);
+  const auto& got = t.merged();
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i], ref[i]) << "divergence at merged index " << i;
+  }
+  // Spot-check the pinned order directly.
+  EXPECT_EQ(got[0]->t, VTime(50));
+  EXPECT_EQ(got[0]->loc, 0);
+  EXPECT_EQ(got[1]->loc, 0);  // t=100 ties: loc 0 first
+  EXPECT_EQ(got[2]->loc, 1);
+  EXPECT_EQ(got[2]->type, EventType::kEnter);
+  EXPECT_EQ(got[2]->region, r);  // loc 1 recording order at equal t
+  EXPECT_EQ(got[3]->region, s);
+  EXPECT_EQ(got[4]->type, EventType::kExit);
+  EXPECT_EQ(got[5]->loc, 2);
+  EXPECT_EQ(got[6]->t, VTime(150));
+}
+
+TEST(Trace, MergedMatchesReferenceOnRandomTraces) {
+  ats::Rng rng(20260806);
+  for (int round = 0; round < 20; ++round) {
+    Trace t;
+    const int nlocs = 1 + static_cast<int>(rng.next_below(6));
+    for (int l = 0; l < nlocs; ++l) {
+      t.add_location(proc_info(l, "loc" + std::to_string(l)));
+    }
+    const RegionId r = t.regions().intern("x", RegionKind::kUser);
+    const int events = static_cast<int>(rng.next_below(200));
+    for (int i = 0; i < events; ++i) {
+      // Coarse timestamps force plenty of ties; every few rounds record
+      // out of order to exercise the per-location pre-sort path.
+      const auto loc = static_cast<LocId>(rng.next_below(
+          static_cast<std::uint64_t>(nlocs)));
+      const std::int64_t ts =
+          round % 3 == 0
+              ? static_cast<std::int64_t>(rng.next_below(16))
+              : static_cast<std::int64_t>(i) + static_cast<std::int64_t>(
+                                                   rng.next_below(3));
+      t.enter(loc, VTime(ts), r);
+    }
+    const auto ref = reference_merged(t);
+    const auto& got = t.merged();
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(got[i], ref[i])
+          << "round " << round << " diverged at index " << i;
+    }
+  }
+}
+
+TEST(Trace, MergedCacheInvalidatedByAppend) {
+  Trace t;
+  t.add_location(proc_info(0, "a"));
+  const RegionId r = t.regions().intern("x", RegionKind::kUser);
+  t.enter(0, VTime(10), r);
+  EXPECT_EQ(t.merged().size(), 1u);
+  t.exit(0, VTime(20), r);
+  const auto& m = t.merged();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[1]->t, VTime(20));
+}
+
+TEST(Trace, ForEachMergedMatchesMaterialisedView) {
+  Trace t;
+  t.add_location(proc_info(0, "a"));
+  t.add_location(proc_info(1, "b"));
+  const RegionId r = t.regions().intern("x", RegionKind::kUser);
+  t.enter(0, VTime(5), r);
+  t.enter(1, VTime(3), r);
+  t.enter(1, VTime(5), r);
+  std::vector<const Event*> streamed;
+  t.for_each_merged([&](const Event& e) { streamed.push_back(&e); });
+  const auto& view = t.merged();
+  ASSERT_EQ(streamed.size(), view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(streamed[i], view[i]);
+  }
 }
 
 TEST(Trace, BeginEndTimes) {
