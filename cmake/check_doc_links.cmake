@@ -1,0 +1,68 @@
+# Verifies that every relative markdown link in the repo's documentation
+# resolves to an existing file.  Run as a script:
+#
+#   cmake -DREPO_ROOT=<repo> -P cmake/check_doc_links.cmake
+#
+# Registered as the `docs_link_check` ctest and run by CI, so a renamed or
+# deleted document breaks the build instead of silently breaking readers.
+
+if(NOT DEFINED REPO_ROOT)
+  get_filename_component(REPO_ROOT "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+endif()
+
+file(GLOB_RECURSE doc_files RELATIVE "${REPO_ROOT}"
+  "${REPO_ROOT}/*.md")
+
+set(broken 0)
+set(checked 0)
+foreach(doc IN LISTS doc_files)
+  # Skip build trees and external checkouts.
+  if(doc MATCHES "^(build|_deps)/" OR doc MATCHES "/(build|_deps)/")
+    continue()
+  endif()
+  file(STRINGS "${REPO_ROOT}/${doc}" doc_lines)
+  get_filename_component(doc_dir "${REPO_ROOT}/${doc}" DIRECTORY)
+  set(in_code FALSE)
+  foreach(line IN LISTS doc_lines)
+    # Skip fenced code blocks — C++ lambdas like `[](mpi::Proc& p)` would
+    # otherwise look like markdown links.
+    if(line MATCHES "^[ \t]*```")
+      if(in_code)
+        set(in_code FALSE)
+      else()
+        set(in_code TRUE)
+      endif()
+      continue()
+    endif()
+    if(in_code)
+      continue()
+    endif()
+    # Inline markdown links: [text](target).  The target is matched with
+    # a positive character class (CMake's regex engine cannot express ')'
+    # inside a negated class).  External and anchor-only targets are
+    # ignored; everything else must exist relative to the containing
+    # file.  A while loop with CMAKE_MATCH avoids list semantics, which
+    # choke on matches containing brackets.
+    set(rest "${line}")
+    while(rest MATCHES "\\]\\(([A-Za-z0-9_.:/#~-]+)\\)(.*)")
+      set(target "${CMAKE_MATCH_1}")
+      set(rest "${CMAKE_MATCH_2}")
+      # Strip a trailing #anchor.
+      string(REGEX REPLACE "#[^#]*$" "" path "${target}")
+      if(target MATCHES "^[a-z]+://" OR target MATCHES "^#"
+         OR path STREQUAL "" OR IS_ABSOLUTE "${path}")
+        continue()
+      endif()
+      math(EXPR checked "${checked} + 1")
+      if(NOT EXISTS "${doc_dir}/${path}")
+        message(SEND_ERROR "${doc}: broken relative link '${target}'")
+        math(EXPR broken "${broken} + 1")
+      endif()
+    endwhile()
+  endforeach()
+endforeach()
+
+if(broken GREATER 0)
+  message(FATAL_ERROR "${broken} broken documentation link(s)")
+endif()
+message(STATUS "docs link check: ${checked} relative link(s) OK")

@@ -2,18 +2,67 @@
 // driver (paper §3.2's generator as a build tool).
 //
 //   gen_driver_tool <property> <output.cpp>
+//   gen_driver_tool --list
+//   gen_driver_tool --describe <property>
 //
 // The examples CMakeLists uses this at build time to generate, compile and
 // register `generated_late_broadcast` — proving the emitted code is a
 // valid, working ATS client.
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "gen/source_gen.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: gen_driver_tool <property> <output.cpp>\n"
+    "       gen_driver_tool --list\n"
+    "       gen_driver_tool --describe <property>\n"
+    "\n"
+    "Emits a standalone, compilable C++ driver for one registered property\n"
+    "function (link it against ats_gen, ats_analyzer, ats_core).\n"
+    "\n"
+    "  --list                one-line catalog of all property functions\n"
+    "  --describe <prop>     parameter table and expected property for one\n"
+    "  --help                show this message\n";
+
+void list_names(std::ostream& os) {
+  for (const auto& def : ats::gen::Registry::instance().all()) {
+    os << "  " << def.name << "\n";
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::cerr << "usage: gen_driver_tool <property> <output.cpp>\n";
+  const std::string first = argc > 1 ? argv[1] : "";
+  if (first == "--help" || first == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (first == "--list") {
+    std::cout << ats::gen::describe_registry();
+    return 0;
+  }
+  if (first == "--describe") {
+    if (argc != 3) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    try {
+      std::cout << ats::gen::describe_property(
+          ats::gen::Registry::instance().find(argv[2]));
+      return 0;
+    } catch (const ats::Error& e) {
+      std::cerr << "error: " << e.what() << "\nknown properties:\n";
+      list_names(std::cerr);
+      return 1;
+    }
+  }
+  if (argc != 3 || (!first.empty() && first[0] == '-')) {
+    std::cerr << kUsage;
     return 2;
   }
   try {
@@ -26,7 +75,8 @@ int main(int argc, char** argv) {
     out << ats::gen::generate_driver_source(def);
     return 0;
   } catch (const ats::Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error: " << e.what() << "\nknown properties:\n";
+    list_names(std::cerr);
     return 1;
   }
 }

@@ -8,36 +8,97 @@
 // detection logic needs no access to the generating program.
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "analyzer/analyzer.hpp"
 #include "report/cube_view.hpp"
 #include "report/cube_xml.hpp"
 #include "report/timeline.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: trace_analyze [options] <trace-file>\n"
+    "\n"
+    "Replays a serialised ATS trace (docs/TRACE_FORMAT.md) through the\n"
+    "EXPERT-style analyzer and prints the property/finding report.\n"
+    "\n"
+    "  --lenient          recover from malformed records and degraded data\n"
+    "                     (prints parse diagnostics and the data-quality\n"
+    "                     pane) instead of stopping at the first error\n"
+    "  --xml <out.xml>    also write the severity cube as CUBE-like XML\n"
+    "  --help             show this message\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ats;
-  if (argc < 2) {
-    std::cerr << "usage: trace_analyze <trace-file> [--xml <out.cube.xml>]\n";
+  bool lenient = false;
+  std::string path;
+  std::string xml_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--lenient") {
+      lenient = true;
+    } else if (arg == "--xml") {
+      if (i + 1 >= argc) {
+        std::cerr << "--xml needs an output file\n" << kUsage;
+        return 2;
+      }
+      xml_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n" << kUsage;
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n" << kUsage;
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << kUsage;
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
+    std::cerr << "cannot open " << path << "\n";
     return 1;
   }
   try {
-    const trace::Trace tr = trace::Trace::load(in);
+    trace::LoadOptions opt;
+    opt.strict = !lenient;
+    const trace::LoadResult loaded = trace::load_trace(in, opt);
+    if (!loaded.header_ok) {
+      std::cerr << "error: " << path << " is not an ATS trace\n";
+      return 1;
+    }
+    for (const auto& d : loaded.diagnostics) {
+      std::cerr << d.str() << "\n";
+    }
+    const trace::Trace& tr = loaded.trace;
     std::cout << "loaded " << tr.event_count() << " events over "
-              << tr.location_count() << " locations\n\n";
+              << tr.location_count() << " locations";
+    if (loaded.records_dropped > 0) {
+      std::cout << " (" << loaded.records_dropped << " records dropped)";
+    }
+    std::cout << "\n\n";
     std::cout << report::render_timeline(tr) << "\n";
     std::cout << report::render_location_summary(tr) << "\n";
-    const auto result = analyze::analyze(tr);
+    analyze::AnalyzerOptions aopt;
+    aopt.lenient = lenient;
+    const auto result = analyze::analyze(tr, aopt);
     std::cout << report::render_analysis(result, tr);
     std::cout << "\n" << report::render_profile(result, tr);
-    if (argc >= 4 && std::string(argv[2]) == "--xml") {
-      std::ofstream xml(argv[3]);
+    if (!xml_path.empty()) {
+      std::ofstream xml(xml_path);
       report::write_cube_xml(xml, result, tr);
-      std::cout << "\ncube written to " << argv[3] << "\n";
+      std::cout << "\ncube written to " << xml_path << "\n";
     }
   } catch (const ats::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -97,6 +97,16 @@ std::vector<VDur> SeverityCube::locations_of(PropertyId p, NodeId n) const {
   return std::vector<VDur>(nlocs_, VDur::zero());
 }
 
+// -------------------------------------------------------------- DataQuality
+
+bool DataQuality::clean() const {
+  return events_dropped == 0 && events_repaired == 0 &&
+         unbalanced_exits == 0 && unmatched_sends == 0 &&
+         unmatched_recvs == 0 && incomplete_collectives == 0 &&
+         negative_waits_clamped == 0 && skewed_messages == 0 &&
+         unsorted_locations == 0 && !clock_skew_detected;
+}
+
 // ----------------------------------------------------------- AnalysisResult
 
 std::optional<Finding> AnalysisResult::dominant(bool include_overhead) const {
@@ -252,6 +262,26 @@ class Replay {
     cube_.add(p, n, loc, d);
   }
 
+  /// non_negative() that books every clamp in the DataQuality summary: a
+  /// negative wait interval can only come from skewed or jittered clocks.
+  VDur clamp_wait(VDur d) {
+    if (d.is_negative()) {
+      ++quality_.negative_waits_clamped;
+      return VDur::zero();
+    }
+    return d;
+  }
+
+  bool valid_region(trace::RegionId r) const {
+    return r >= 0 && static_cast<std::size_t>(r) < trace_.regions().size();
+  }
+
+  bool valid_comm(trace::CommId c) const {
+    return c >= 0 && static_cast<std::size_t>(c) < trace_.comm_count();
+  }
+
+  void drop_event() { ++quality_.events_dropped; }
+
   void on_enter(const trace::Event& e);
   void on_exit(const trace::Event& e);
   void on_send(const trace::Event& e);
@@ -291,9 +321,16 @@ class Replay {
   std::unordered_map<Key128, std::vector<CollRec>, Key128Hash> colls_;
 
   VDur total_time_ = VDur::zero();
+  DataQuality quality_;
 };
 
 void Replay::on_enter(const trace::Event& e) {
+  if (options_.lenient && !valid_region(e.region)) {
+    // A region never declared cannot be profiled or even named later;
+    // dropping the enter keeps the stack consistent.
+    drop_event();
+    return;
+  }
   auto& st = stacks_[static_cast<std::size_t>(e.loc)];
   const NodeId n = profile_.child(current_node(e.loc), e.region);
   profile_.add_visit(n, e.loc);
@@ -303,9 +340,30 @@ void Replay::on_enter(const trace::Event& e) {
 void Replay::on_exit(const trace::Event& e) {
   auto& st = stacks_[static_cast<std::size_t>(e.loc)];
   if (st.empty() || st.back().region != e.region) {
-    throw TraceError("analyzer: unbalanced exit of region '" +
-                     trace_.regions().info(e.region).name + "' on location " +
-                     std::to_string(e.loc));
+    if (!options_.lenient) {
+      throw TraceError("analyzer: unbalanced exit of region '" +
+                       trace_.regions().info(e.region).name +
+                       "' on location " + std::to_string(e.loc));
+    }
+    ++quality_.unbalanced_exits;
+    // Recovery: if the region is open deeper in the stack, the intervening
+    // exits were lost — close those regions synthetically at e.t and fall
+    // through to the normal exit.  Otherwise the matching enter was lost;
+    // drop the exit.
+    const bool open_deeper =
+        std::any_of(st.begin(), st.end(), [&](const StackEntry& s) {
+          return s.region == e.region;
+        });
+    if (!open_deeper) {
+      drop_event();
+      return;
+    }
+    while (st.back().region != e.region) {
+      profile_.add_inclusive(st.back().node, e.loc,
+                             clamp_wait(e.t - st.back().enter));
+      st.pop_back();
+      ++quality_.events_repaired;
+    }
   }
   const StackEntry top = st.back();
   st.pop_back();
@@ -334,8 +392,12 @@ void Replay::on_send(const trace::Event& e) {
     // no wrong-order bookkeeping applies.
     const OrphanRecv orphan = oit->second.front();
     oit->second.pop_front();
+    // A receive that *completed* strictly before its send was recorded can
+    // only happen with disagreeing clocks (equal timestamps are the benign
+    // replay-order case).
+    if (orphan.t < e.t) ++quality_.skewed_messages;
     const VDur wait =
-        non_negative(earlier(e.t, orphan.t) - orphan.recv_enter);
+        clamp_wait(earlier(e.t, orphan.t) - orphan.recv_enter);
     if (wait > VDur::zero()) {
       add_wait(PropertyId::kLateSender, orphan.recv_node, orphan.loc, wait);
     }
@@ -395,7 +457,8 @@ void Replay::on_recv(const trace::Event& e) {
 
   if (!in_p2p) return;  // recv completion outside any P2P region: skip
 
-  const VDur wait = non_negative(earlier(send_t, e.t) - recv_enter);
+  if (send_t > e.t) ++quality_.skewed_messages;
+  const VDur wait = clamp_wait(earlier(send_t, e.t) - recv_enter);
   if (wait > VDur::zero()) {
     // Wrong order: another message for us was already under way before the
     // one we insisted on receiving was even sent.  The multiset is ordered,
@@ -409,6 +472,10 @@ void Replay::on_recv(const trace::Event& e) {
 }
 
 void Replay::on_coll_end(const trace::Event& e) {
+  if (options_.lenient && !valid_comm(e.comm)) {
+    drop_event();
+    return;
+  }
   const auto& st = stacks_[static_cast<std::size_t>(e.loc)];
   CollRec rec;
   rec.loc = e.loc;
@@ -450,10 +517,10 @@ void Replay::process_coll_group(trace::CollOp op, std::int32_t root_loc,
       continue;
     } else if (op == trace::CollOp::kBarrier) {
       prop = PropertyId::kWaitAtBarrier;
-      wait = non_negative(max_enter - r.enter);
+      wait = clamp_wait(max_enter - r.enter);
     } else if (op == trace::CollOp::kOmpBarrier) {
       prop = PropertyId::kWaitAtOmpBarrier;
-      wait = non_negative(max_enter - r.enter);
+      wait = clamp_wait(max_enter - r.enter);
     } else if (op == trace::CollOp::kOmpIBarrier) {
       if (starts_with(r.encl_name, "omp for")) {
         prop = PropertyId::kImbalanceInOmpLoop;
@@ -464,18 +531,18 @@ void Replay::process_coll_group(trace::CollOp op, std::int32_t root_loc,
       } else {
         prop = PropertyId::kImbalanceInParallelRegion;
       }
-      wait = non_negative(max_enter - r.enter);
+      wait = clamp_wait(max_enter - r.enter);
     } else if (trace::is_root_source(op)) {
       prop = (op == trace::CollOp::kBcast) ? PropertyId::kLateBroadcast
                                            : PropertyId::kLateScatter;
-      if (r.loc != root_loc) wait = non_negative(root_enter - r.enter);
+      if (r.loc != root_loc) wait = clamp_wait(root_enter - r.enter);
     } else if (trace::is_root_sink(op)) {
       prop = (op == trace::CollOp::kReduce) ? PropertyId::kEarlyReduce
                                             : PropertyId::kEarlyGather;
-      if (r.loc == root_loc) wait = non_negative(max_enter - r.enter);
+      if (r.loc == root_loc) wait = clamp_wait(max_enter - r.enter);
     } else {
       prop = PropertyId::kWaitAtNxN;
-      wait = non_negative(max_enter - r.enter);
+      wait = clamp_wait(max_enter - r.enter);
     }
     add_wait(prop, r.node, r.loc, wait);
   }
@@ -489,7 +556,7 @@ void Replay::on_lock_acquire(const trace::Event& e) {
     return;
   }
   add_wait(PropertyId::kOmpLockContention, top.node, e.loc,
-           non_negative(e.t - top.enter));
+           clamp_wait(e.t - top.enter));
 }
 
 void Replay::finish_open_regions() {
@@ -678,6 +745,7 @@ AnalysisResult Replay::run() {
     first_[loc] = earlier(first_[loc], e.t);
     last_[loc] = later(last_[loc], e.t);
     seen_[loc] = true;
+    ++quality_.events_seen;
     switch (e.type) {
       case trace::EventType::kEnter: on_enter(e); break;
       case trace::EventType::kExit: on_exit(e); break;
@@ -693,8 +761,24 @@ AnalysisResult Replay::run() {
   classify_structural();
   idle_threads_pass();
 
+  // Degradation accounting: whatever is still parked in the matching
+  // tables at the end of the replay never found its counterpart.  These
+  // wait states are skipped, not guessed at — the DataQuality summary is
+  // the honest record of what the analysis could not see.
+  for (const auto& [key, queue] : sends_) {
+    quality_.unmatched_sends += queue.size();
+  }
+  for (const auto& [key, queue] : orphans_) {
+    quality_.unmatched_recvs += queue.size();
+  }
+  quality_.incomplete_collectives = colls_.size();
+  quality_.unsorted_locations = trace_.unsorted_location_count();
+  quality_.clock_skew_detected = quality_.skewed_messages > 0 ||
+                                 quality_.negative_waits_clamped > 0 ||
+                                 quality_.unsorted_locations > 0;
+
   AnalysisResult result{std::move(profile_), std::move(cube_), total_time_,
-                        {}};
+                        {}, quality_};
   rank_findings(result);
   return result;
 }

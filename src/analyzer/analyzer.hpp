@@ -79,11 +79,38 @@ struct AnalyzerOptions {
   /// MISSED — demonstrating that the suite catches broken tools (the
   /// paper's core motivation).
   std::vector<PropertyId> disabled_patterns;
+  /// Degrade gracefully on malformed traces instead of throwing: unbalanced
+  /// exits are repaired or dropped (and counted in DataQuality), events
+  /// referencing unknown regions/comms are skipped.  Strict (the default)
+  /// preserves the historical throw-on-inconsistency behaviour that the
+  /// unit tests pin.  Recovery policy: DESIGN.md §7.
+  bool lenient = false;
 
   bool is_disabled(PropertyId p) const;
   /// disabled_patterns as a bitset, computed once per analysis so the
   /// per-event replay checks are a single bit test instead of a std::find.
   std::bitset<kPropertyCount> disabled_mask() const;
+};
+
+/// Degradation summary attached to every AnalysisResult: what the replay
+/// saw, what it had to drop or repair, and whether the trace shows signs of
+/// clock skew.  All counters are populated in both strict and lenient mode
+/// (strict throws before some of them can become non-zero).
+struct DataQuality {
+  std::size_t events_seen = 0;     ///< events replayed
+  std::size_t events_dropped = 0;  ///< events skipped as unusable
+  std::size_t events_repaired = 0; ///< regions closed synthetically
+  std::size_t unbalanced_exits = 0;      ///< exit without matching enter
+  std::size_t unmatched_sends = 0;       ///< sends no receive consumed
+  std::size_t unmatched_recvs = 0;       ///< receives with no send record
+  std::size_t incomplete_collectives = 0;  ///< groups missing participants
+  std::size_t negative_waits_clamped = 0;  ///< wait intervals clamped to 0
+  std::size_t skewed_messages = 0;  ///< receive completed before its send
+  std::size_t unsorted_locations = 0;  ///< per-loc buffers out of time order
+  bool clock_skew_detected = false;
+
+  /// True when the trace replayed without any anomaly.
+  bool clean() const;
 };
 
 struct AnalysisResult {
@@ -93,6 +120,8 @@ struct AnalysisResult {
   VDur total_time;
   /// Ranked findings (desc. severity), leaves above threshold only.
   std::vector<Finding> findings;
+  /// Trace-health summary (see DataQuality).
+  DataQuality quality;
 
   /// Highest-severity wait state; by default ignores overhead-class
   /// properties (init/finalize) so the injected property dominates.

@@ -1,0 +1,262 @@
+#include "faults/fault_injector.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ats::faults {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kTimestampJitter: return "timestamp-jitter";
+    case FaultKind::kDropEvent: return "drop-event";
+    case FaultKind::kDuplicateEvent: return "duplicate-event";
+    case FaultKind::kReorderEvents: return "reorder-events";
+    case FaultKind::kDropRecv: return "drop-recv";
+    case FaultKind::kDropSend: return "drop-send";
+    case FaultKind::kCorruptRecord: return "corrupt-record";
+    case FaultKind::kBogusLocation: return "bogus-location";
+    case FaultKind::kTruncateFile: return "truncate-file";
+    case FaultKind::kCount_: break;
+  }
+  return "?";
+}
+
+std::size_t InjectionReport::total() const {
+  std::size_t n = 0;
+  for (const std::size_t c : counts) n += c;
+  return n;
+}
+
+std::string InjectionReport::str() const {
+  std::string out;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (counts[k] == 0) continue;
+    out += to_string(static_cast<FaultKind>(k));
+    out += ": ";
+    out += std::to_string(counts[k]);
+    out += '\n';
+  }
+  if (out.empty()) out = "(no faults injected)\n";
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : cfg_(config), rng_(config.seed, /*stream=*/0xFA17) {}
+
+namespace {
+
+/// Replays one event into `out` through the typed recording API.
+void emit(trace::Trace& out, const trace::Event& e) {
+  using trace::EventType;
+  switch (e.type) {
+    case EventType::kEnter:
+      out.enter(e.loc, e.t, e.region);
+      break;
+    case EventType::kExit:
+      out.exit(e.loc, e.t, e.region);
+      break;
+    case EventType::kSend:
+      out.send(e.loc, e.t, e.peer, e.tag, e.comm, e.bytes);
+      break;
+    case EventType::kRecv:
+      out.recv(e.loc, e.t, e.peer, e.tag, e.comm, e.bytes);
+      break;
+    case EventType::kCollEnd:
+      out.coll_end(e.loc, e.t, e.enter_t, e.comm, e.seq, e.op, e.root,
+                   e.bytes, e.bytes_out);
+      break;
+    case EventType::kLockAcquire:
+      out.lock_acquire(e.loc, e.t, e.peer);
+      break;
+    case EventType::kLockRelease:
+      out.lock_release(e.loc, e.t, e.peer);
+      break;
+  }
+}
+
+/// True for the serialised event-record keywords (docs/TRACE_FORMAT.md §4).
+bool is_event_line(const std::string& line) {
+  if (line.size() < 2) return false;
+  if (line[1] == ' ') {
+    return line[0] == 'E' || line[0] == 'X' || line[0] == 'S' ||
+           line[0] == 'R' || line[0] == 'C';
+  }
+  return line.size() > 2 && line[0] == 'L' &&
+         (line[1] == 'A' || line[1] == 'R') && line[2] == ' ';
+}
+
+}  // namespace
+
+trace::Trace FaultInjector::apply(const trace::Trace& t) {
+  trace::Trace out;
+  // Metadata survives intact: real corruption hits the bulky event payload
+  // first, and the loader-level faults (corrupt_text) cover damaged
+  // metadata separately.
+  for (std::size_t r = 0; r < t.regions().size(); ++r) {
+    const trace::RegionInfo& info =
+        t.regions().info(static_cast<trace::RegionId>(r));
+    out.regions().intern(info.name, info.kind);
+  }
+  for (std::size_t l = 0; l < t.location_count(); ++l) {
+    out.add_location(t.location(static_cast<trace::LocId>(l)));
+  }
+  for (std::size_t c = 0; c < t.comm_count(); ++c) {
+    const trace::CommInfo& info = t.comm(static_cast<trace::CommId>(c));
+    out.add_comm(info.kind, info.members, info.name);
+  }
+
+  // One constant offset per skewed location — the "this node's clock was
+  // wrong" failure mode, distinct from per-event jitter.
+  std::vector<std::int64_t> skew(t.location_count(), 0);
+  if (cfg_.clock_skew_ns > 0 && cfg_.skew_locations > 0.0) {
+    for (auto& s : skew) {
+      if (!chance(cfg_.skew_locations)) continue;
+      s = rng_.next_in(-cfg_.clock_skew_ns, cfg_.clock_skew_ns);
+      if (s != 0) note(FaultKind::kClockSkew);
+    }
+  }
+
+  for (std::size_t l = 0; l < t.location_count(); ++l) {
+    std::vector<trace::Event> kept;
+    const auto& events = t.events_of(static_cast<trace::LocId>(l));
+    kept.reserve(events.size());
+    for (trace::Event e : events) {
+      if (e.type == trace::EventType::kRecv && chance(cfg_.drop_recv)) {
+        note(FaultKind::kDropRecv);
+        continue;
+      }
+      if (e.type == trace::EventType::kSend && chance(cfg_.drop_send)) {
+        note(FaultKind::kDropSend);
+        continue;
+      }
+      if (chance(cfg_.drop_event)) {
+        note(FaultKind::kDropEvent);
+        continue;
+      }
+      if (skew[l] != 0) {
+        e.t = VTime(e.t.ns() + skew[l]);
+        if (e.type == trace::EventType::kCollEnd) {
+          e.enter_t = VTime(e.enter_t.ns() + skew[l]);
+        }
+      }
+      if (cfg_.jitter_ns > 0 && chance(cfg_.jitter_events)) {
+        e.t = VTime(e.t.ns() +
+                           rng_.next_in(-cfg_.jitter_ns, cfg_.jitter_ns));
+        note(FaultKind::kTimestampJitter);
+      }
+      kept.push_back(e);
+      if (chance(cfg_.duplicate_event)) {
+        kept.push_back(e);
+        note(FaultKind::kDuplicateEvent);
+      }
+    }
+    for (std::size_t i = 1; i < kept.size(); ++i) {
+      if (chance(cfg_.reorder_events)) {
+        std::swap(kept[i - 1], kept[i]);
+        note(FaultKind::kReorderEvents);
+      }
+    }
+    for (const trace::Event& e : kept) {
+      emit(out, e);
+    }
+  }
+  return out;
+}
+
+std::string FaultInjector::corrupt_text(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string& line = lines[i];
+    // Only event lines are garbled: they are the overwhelming bulk of a
+    // trace, and a single damaged metadata record cascades into dozens of
+    // follow-on diagnostics, which would make the injected-vs-detected
+    // reconciliation in the fuzz test meaningless.
+    if (!is_event_line(line)) continue;
+    if (chance(cfg_.bogus_location)) {
+      // Rewrite the loc field (second token) to an undeclared id.
+      const std::size_t sp = line.find(' ');
+      const std::size_t end = line.find(' ', sp + 1);
+      if (sp != std::string::npos && end != std::string::npos) {
+        line = line.substr(0, sp + 1) +
+               std::to_string(1000000 + rng_.next_below(1000)) +
+               line.substr(end);
+        note(FaultKind::kBogusLocation);
+      }
+      continue;
+    }
+    if (chance(cfg_.corrupt_record)) {
+      const std::size_t pos = rng_.next_below(line.size());
+      switch (rng_.next_below(3)) {
+        case 0:  // flip a character
+          line[pos] = static_cast<char>('!' + rng_.next_below(90));
+          break;
+        case 1:  // delete a chunk
+          line.erase(pos, rng_.next_below(8) + 1);
+          break;
+        default:  // splice in junk
+          line.insert(pos, "#7z");
+          break;
+      }
+      note(FaultKind::kCorruptRecord);
+    }
+  }
+
+  std::string out;
+  out.reserve(text.size() + 16);
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  if (cfg_.truncate_fraction > 0.0 && cfg_.truncate_fraction < 1.0) {
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(out.size()) * cfg_.truncate_fraction);
+    // Never cut into the header: a headless file is total loss, not
+    // degradation.
+    const std::size_t header_end = out.find('\n');
+    if (header_end != std::string::npos && keep > header_end) {
+      out.resize(keep);
+      note(FaultKind::kTruncateFile);
+    }
+  }
+  return out;
+}
+
+FaultConfig FaultInjector::random_config(std::uint64_t seed) {
+  Rng r(seed, /*stream=*/0xC0FF);
+  FaultConfig c;
+  c.seed = seed;
+  c.drop_event = r.next_double() * 0.05;
+  c.duplicate_event = r.next_double() * 0.05;
+  c.reorder_events = r.next_double() * 0.05;
+  c.drop_recv = r.next_double() * 0.03;
+  c.drop_send = r.next_double() * 0.03;
+  if (r.next_double() < 0.5) {
+    c.clock_skew_ns = r.next_in(std::int64_t{1}, std::int64_t{20'000'000});
+    c.skew_locations = r.next_double();
+  }
+  if (r.next_double() < 0.5) {
+    c.jitter_ns = r.next_in(std::int64_t{1}, std::int64_t{2'000'000});
+    c.jitter_events = r.next_double() * 0.25;
+  }
+  c.corrupt_record = r.next_double() * 0.05;
+  c.bogus_location = r.next_double() * 0.02;
+  if (r.next_double() < 0.25) {
+    c.truncate_fraction = 0.5 + r.next_double() * 0.45;
+  }
+  return c;
+}
+
+}  // namespace ats::faults

@@ -1,0 +1,110 @@
+// Deterministic fault injection for trace-robustness testing.
+//
+// The paper's premise is that a performance tool must be validated on
+// inputs with *known* properties.  This module extends that idea to known
+// *defects*: a seedable FaultInjector perturbs a pristine trace — in memory
+// (event level) or on its serialised text (record level) — and reports
+// exactly how many faults of each kind it planted.  The fuzz ctest
+// (tests/fault_injection_test.cpp) then checks that the analyzer survives
+// every perturbation and that its DataQuality summary reconciles with the
+// injection report.  Fault taxonomy and recovery policy: DESIGN.md §7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace ats::faults {
+
+enum class FaultKind : std::uint8_t {
+  // --- event level (FaultInjector::apply) --------------------------------
+  kClockSkew,        ///< constant per-location offset on all timestamps
+  kTimestampJitter,  ///< random per-event offset (breaks monotonicity)
+  kDropEvent,        ///< event removed from the trace
+  kDuplicateEvent,   ///< event recorded twice
+  kReorderEvents,    ///< two adjacent events of one location swapped
+  kDropRecv,         ///< receive removed -> its send stays unmatched
+  kDropSend,         ///< send removed -> its receive stays unmatched
+  // --- record level (FaultInjector::corrupt_text) ------------------------
+  kCorruptRecord,    ///< event line garbled (flip/delete/junk)
+  kBogusLocation,    ///< event line rewritten to an undeclared location id
+  kTruncateFile,     ///< serialised text cut short
+  kCount_,           // sentinel
+};
+
+inline constexpr std::size_t kFaultKindCount =
+    static_cast<std::size_t>(FaultKind::kCount_);
+
+const char* to_string(FaultKind k);
+
+/// Per-kind knobs; all probabilities in [0, 1], all defaults harmless.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // Event-level probabilities, applied per event.
+  double drop_event = 0.0;
+  double duplicate_event = 0.0;
+  double reorder_events = 0.0;
+  double drop_recv = 0.0;
+  double drop_send = 0.0;
+
+  // Clock faults.
+  std::int64_t clock_skew_ns = 0;  ///< max |offset| per skewed location
+  double skew_locations = 0.0;     ///< fraction of locations skewed
+  std::int64_t jitter_ns = 0;      ///< max |offset| per jittered event
+  double jitter_events = 0.0;      ///< fraction of events jittered
+
+  // Record-level probabilities, applied per serialised event line.  The
+  // header line is never touched (a destroyed header is total loss, not
+  // degradation — tested separately).
+  double corrupt_record = 0.0;
+  double bogus_location = 0.0;
+  /// When in (0, 1): keep only this fraction of the serialised text.
+  double truncate_fraction = 0.0;
+};
+
+/// What the injector actually did: one counter per fault kind.
+struct InjectionReport {
+  std::array<std::size_t, kFaultKindCount> counts{};
+
+  std::size_t count(FaultKind k) const {
+    return counts[static_cast<std::size_t>(k)];
+  }
+  std::size_t total() const;
+  /// One line per non-zero kind ("drop-event: 12\n...").
+  std::string str() const;
+};
+
+/// Deterministic: the same config (incl. seed) applied to the same trace
+/// plants the same faults.  apply() and corrupt_text() share one stream, so
+/// an injector instance is single-use per reproduction.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  /// Event-level perturbation: returns a perturbed copy of `t` (metadata
+  /// intact, events dropped/duplicated/reordered/skewed per config).
+  trace::Trace apply(const trace::Trace& t);
+
+  /// Record-level perturbation of a serialised trace (Trace::save output).
+  std::string corrupt_text(const std::string& text);
+
+  const InjectionReport& report() const { return report_; }
+
+  /// A moderate mixed-fault configuration derived from `seed`, for seeded
+  /// fuzz sweeps.
+  static FaultConfig random_config(std::uint64_t seed);
+
+ private:
+  bool chance(double p) { return p > 0.0 && rng_.next_double() < p; }
+  void note(FaultKind k) { ++report_.counts[static_cast<std::size_t>(k)]; }
+
+  FaultConfig cfg_;
+  InjectionReport report_;
+  Rng rng_;
+};
+
+}  // namespace ats::faults

@@ -93,6 +93,33 @@ std::string render_findings(const AnalysisResult& result,
   return os.str();
 }
 
+std::string render_data_quality(const AnalysisResult& result) {
+  const analyze::DataQuality& q = result.quality;
+  std::ostringstream os;
+  os << "=== data quality ===\n";
+  if (q.clean()) {
+    os << "clean: " << q.events_seen << " events, no anomalies\n";
+    return os.str();
+  }
+  const auto row = [&](const char* label, std::size_t n) {
+    if (n == 0 && std::string(label) != "events seen") return;
+    os << pad_right(label, 28) << pad_left(std::to_string(n), 10) << "\n";
+  };
+  row("events seen", q.events_seen);
+  row("events dropped", q.events_dropped);
+  row("events repaired", q.events_repaired);
+  row("unbalanced exits", q.unbalanced_exits);
+  row("unmatched sends", q.unmatched_sends);
+  row("unmatched receives", q.unmatched_recvs);
+  row("incomplete collectives", q.incomplete_collectives);
+  row("negative waits clamped", q.negative_waits_clamped);
+  row("skewed messages", q.skewed_messages);
+  row("unsorted locations", q.unsorted_locations);
+  os << pad_right("clock skew detected", 28)
+     << pad_left(q.clock_skew_detected ? "yes" : "no", 10) << "\n";
+  return os.str();
+}
+
 std::string render_analysis(const AnalysisResult& result,
                             const trace::Trace& trace) {
   std::ostringstream os;
@@ -100,6 +127,11 @@ std::string render_analysis(const AnalysisResult& result,
      << " locations, total time " << result.total_time.str() << ") ===\n\n";
   os << render_property_tree(result, trace) << "\n";
   os << render_findings(result, trace) << "\n";
+  // Pristine traces keep the historical report byte-for-byte; the pane
+  // appears only when there is degradation to report.
+  if (!result.quality.clean()) {
+    os << render_data_quality(result) << "\n";
+  }
   for (const auto& f : result.findings) {
     os << render_property_detail(result, trace, f.prop) << "\n";
   }

@@ -29,8 +29,13 @@ std::string render_property_detail(const analyze::AnalysisResult& result,
 std::string render_findings(const analyze::AnalysisResult& result,
                             const trace::Trace& trace);
 
+/// Data-quality pane: what the replay dropped, repaired, or could not
+/// match, plus the clock-skew verdict (analyze::DataQuality).
+std::string render_data_quality(const analyze::AnalysisResult& result);
+
 /// The full EXPERT-like report: property tree, findings, per-finding
-/// drill-down panes.
+/// drill-down panes, and — when the trace was not pristine — the
+/// data-quality pane.
 std::string render_analysis(const analyze::AnalysisResult& result,
                             const trace::Trace& trace);
 

@@ -77,6 +77,18 @@ void write_cube_xml(std::ostream& os, const AnalysisResult& result,
   }
   os << " </system>\n";
 
+  const analyze::DataQuality& q = result.quality;
+  os << " <dataquality events_seen=\"" << q.events_seen
+     << "\" events_dropped=\"" << q.events_dropped << "\" events_repaired=\""
+     << q.events_repaired << "\" unbalanced_exits=\"" << q.unbalanced_exits
+     << "\" unmatched_sends=\"" << q.unmatched_sends
+     << "\" unmatched_recvs=\"" << q.unmatched_recvs
+     << "\" incomplete_collectives=\"" << q.incomplete_collectives
+     << "\" negative_waits_clamped=\"" << q.negative_waits_clamped
+     << "\" skewed_messages=\"" << q.skewed_messages
+     << "\" unsorted_locations=\"" << q.unsorted_locations
+     << "\" clock_skew=\"" << (q.clock_skew_detected ? 1 : 0) << "\"/>\n";
+
   os << " <severity>\n";
   for (PropertyId p : analyze::property_preorder()) {
     const auto nodes = result.cube.nodes_of(p);

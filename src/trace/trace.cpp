@@ -338,6 +338,14 @@ const Event* MergeCursor::next() {
   return e;
 }
 
+std::size_t Trace::unsorted_location_count() const {
+  std::size_t n = 0;
+  for (const bool sorted : loc_sorted_) {
+    if (!sorted) ++n;
+  }
+  return n;
+}
+
 VTime Trace::end_time() const {
   VTime t = VTime::zero();
   for (const auto& v : per_loc_) {

@@ -204,6 +204,12 @@ class Trace {
   template <typename Fn>
   void for_each_merged(Fn&& fn) const;
 
+  /// Locations whose event buffer was recorded out of time order.  The
+  /// simulators always record monotonically, so a non-zero count marks a
+  /// hand-built or clock-skewed trace; the analyzer folds it into its
+  /// DataQuality summary.
+  std::size_t unsorted_location_count() const;
+
   /// Latest timestamp in the trace (zero when empty).
   VTime end_time() const;
   /// Earliest timestamp in the trace (zero when empty).

@@ -1,10 +1,13 @@
 // Text (de)serialisation of traces.
 //
 // Format: line-oriented, whitespace-separated, names always last on the
-// line (so they may contain spaces).  Header "ATS-TRACE 1".  This lets test
-// programs dump traces that the standalone analyzer and report tools read
-// back — the same decoupling a real tool chain (EPILOG trace -> EXPERT) has.
+// line (so they may contain spaces).  Header "ATS-TRACE 1".  The full
+// record grammar, ordering guarantees and strict-vs-lenient parse rules are
+// specified in docs/TRACE_FORMAT.md; load_trace() below implements that
+// contract with per-record recovery, so a truncated or corrupted file
+// degrades into diagnostics instead of aborting the whole load.
 #include <algorithm>
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -12,6 +15,7 @@
 #include <type_traits>
 
 #include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
 
 namespace ats::trace {
 
@@ -111,110 +115,369 @@ void Trace::save(std::ostream& os) const {
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
-namespace {
+// ----------------------------------------------------------------- loading
 
-/// Reads the rest of the line (after leading space) as a free-form name.
-std::string read_name(std::istringstream& ls) {
-  std::string name;
-  std::getline(ls, name);
-  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
-  return name;
+const char* to_string(DiagnosticKind k) {
+  switch (k) {
+    case DiagnosticKind::kBadHeader: return "bad-header";
+    case DiagnosticKind::kUnknownRecord: return "unknown-record";
+    case DiagnosticKind::kMalformedRecord: return "malformed-record";
+    case DiagnosticKind::kUnknownLocation: return "unknown-location";
+    case DiagnosticKind::kUnknownRegion: return "unknown-region";
+    case DiagnosticKind::kUnknownComm: return "unknown-comm";
+    case DiagnosticKind::kIdOrder: return "id-order";
+    case DiagnosticKind::kBadEnum: return "bad-enum";
+    case DiagnosticKind::kTruncated: return "truncated";
+    case DiagnosticKind::kCount_: break;
+  }
+  return "?";
 }
 
-}  // namespace
+namespace {
 
-Trace Trace::load(std::istream& is) {
-  Trace t;
-  std::string line;
-  if (!std::getline(is, line)) throw TraceError("empty trace stream");
-  {
-    std::istringstream ls(line);
-    std::string magic;
-    int version = 0;
-    ls >> magic >> version;
-    if (magic != kMagic || version != kVersion) {
-      throw TraceError("bad trace header: " + line);
+/// Format-document section cited by each diagnostic kind.
+const char* spec_section(DiagnosticKind k) {
+  switch (k) {
+    case DiagnosticKind::kBadHeader: return "§2";
+    case DiagnosticKind::kUnknownRecord: return "§3";
+    case DiagnosticKind::kIdOrder: return "§5";
+    case DiagnosticKind::kTruncated: return "§6";
+    default: return "§3-§4";
+  }
+}
+
+/// Thrown internally while parsing one record; converted to a diagnostic
+/// (lenient) or a TraceError (strict) by the load loop.
+struct ParseFail {
+  DiagnosticKind kind;
+  int column;  // 1-based, 0 unknown
+  std::string message;
+};
+
+/// Field cursor over one record line.  Numbers parse via from_chars so a
+/// malformed field reports the exact 1-based column where parsing stopped
+/// instead of an opaque stream failure.
+class Fields {
+ public:
+  explicit Fields(const std::string& line) : s_(line) {}
+
+  int column() const { return static_cast<int>(pos_) + 1; }
+
+  void skip_space() {
+    while (pos_ < s_.size() && s_[pos_] == ' ') ++pos_;
+  }
+
+  template <typename T>
+  T num(const char* what) {
+    skip_space();
+    T value{};
+    const char* begin = s_.data() + pos_;
+    const char* end = s_.data() + s_.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || (ptr != end && *ptr != ' ')) {
+      throw ParseFail{DiagnosticKind::kMalformedRecord, column(),
+                      std::string("bad ") + what + " field"};
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return value;
+  }
+
+  std::string word(const char* what) {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ' ') ++pos_;
+    if (pos_ == start) {
+      throw ParseFail{DiagnosticKind::kMalformedRecord, column(),
+                      std::string("missing ") + what + " field"};
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  /// The rest of the line (after one separating space) as a free-form name.
+  std::string rest_name() {
+    if (pos_ < s_.size() && s_[pos_] == ' ') ++pos_;
+    return s_.substr(pos_);
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+class Loader {
+ public:
+  Loader(std::istream& is, const LoadOptions& opt) : is_(is), opt_(opt) {}
+
+  LoadResult run() {
+    header();
+    std::string line;
+    while (getline_tracked(line)) {
+      ++lineno_;
+      if (line.empty()) continue;
+      try {
+        record(line);
+        ++res_.records_ok;
+      } catch (const ParseFail& f) {
+        // A parse failure on a final line that the stream cut short is the
+        // signature of a truncated file, not of a malformed record.
+        const bool truncated = last_line_incomplete_ &&
+                               f.kind == DiagnosticKind::kMalformedRecord;
+        fail(truncated ? DiagnosticKind::kTruncated : f.kind, f.column,
+             truncated ? "stream ends inside this record" : f.message);
+      } catch (const TraceError& e) {
+        // Trace-model rejection (dense-id violation, kind re-intern, ...).
+        fail(DiagnosticKind::kIdOrder, 0, e.what());
+      }
+    }
+    return std::move(res_);
+  }
+
+ private:
+  /// getline that also records whether the line was terminated by '\n'
+  /// (a missing final newline marks a possibly truncated stream).
+  bool getline_tracked(std::string& line) {
+    if (!std::getline(is_, line)) return false;
+    last_line_incomplete_ = is_.eof();
+    return true;
+  }
+
+  [[noreturn]] void throw_strict(const ParseDiagnostic& d) {
+    throw TraceError(d.str());
+  }
+
+  /// Registers a diagnostic for the current line and drops the record.
+  void fail(DiagnosticKind kind, int column, std::string message) {
+    ParseDiagnostic d;
+    d.kind = kind;
+    d.line = lineno_;
+    d.column = column;
+    d.message = std::move(message);
+    if (opt_.strict) throw_strict(d);
+    ++res_.records_dropped;
+    if (res_.diagnostics.size() < opt_.max_diagnostics) {
+      res_.diagnostics.push_back(std::move(d));
     }
   }
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string kw;
-    ls >> kw;
+
+  void header() {
+    std::string line;
+    ++lineno_;
+    if (!getline_tracked(line)) {
+      fail(DiagnosticKind::kBadHeader, 0, "empty trace stream");
+      return;
+    }
+    try {
+      Fields f(line);
+      const std::string magic = f.word("magic");
+      const int version = f.num<int>("version");
+      if (magic != kMagic || version != kVersion) {
+        fail(DiagnosticKind::kBadHeader, 1,
+             "bad trace header '" + line + "', expected '" +
+                 std::string(kMagic) + " " + std::to_string(kVersion) + "'");
+        return;
+      }
+      res_.header_ok = true;
+    } catch (const ParseFail& f2) {
+      fail(DiagnosticKind::kBadHeader, f2.column,
+           "bad trace header '" + line + "'");
+    }
+  }
+
+  void check_loc(LocId loc, int column) {
+    if (loc < 0 ||
+        static_cast<std::size_t>(loc) >= res_.trace.location_count()) {
+      throw ParseFail{DiagnosticKind::kUnknownLocation, column,
+                      "location " + std::to_string(loc) +
+                          " was never declared"};
+    }
+  }
+
+  void check_comm(CommId comm, int column) {
+    if (comm < 0 ||
+        static_cast<std::size_t>(comm) >= res_.trace.comm_count()) {
+      throw ParseFail{DiagnosticKind::kUnknownComm, column,
+                      "comm " + std::to_string(comm) + " was never declared"};
+    }
+  }
+
+  void record(const std::string& line) {
+    Fields f(line);
+    const std::string kw = f.word("keyword");
+    Trace& t = res_.trace;
     if (kw == "region") {
-      RegionId id;
-      std::string kind;
-      ls >> id >> kind;
-      const std::string name = read_name(ls);
-      const RegionId got = t.regions_.intern(name,
-                                             region_kind_from_string(kind));
-      if (got != id) throw TraceError("region ids out of order in trace");
+      const RegionId id = f.num<RegionId>("region id");
+      const int kind_col = f.column();
+      const std::string kind = f.word("region kind");
+      RegionKind rk;
+      try {
+        rk = region_kind_from_string(kind);
+      } catch (const TraceError&) {
+        throw ParseFail{DiagnosticKind::kBadEnum, kind_col,
+                        "unknown region kind '" + kind + "'"};
+      }
+      const std::string name = f.rest_name();
+      const RegionId got = t.regions().intern(name, rk);
+      if (got != id) {
+        throw ParseFail{DiagnosticKind::kIdOrder, 1,
+                        "region id " + std::to_string(id) +
+                            " out of dense order (interned as " +
+                            std::to_string(got) + ")"};
+      }
     } else if (kw == "loc") {
       LocationInfo li;
-      std::string kind;
-      ls >> li.id >> li.parent >> kind >> li.rank >> li.thread;
-      li.kind = (kind == "process") ? LocKind::kProcess : LocKind::kThread;
-      li.name = read_name(ls);
-      t.add_location(std::move(li));
+      li.id = f.num<LocId>("location id");
+      li.parent = f.num<LocId>("parent id");
+      const int kind_col = f.column();
+      const std::string kind = f.word("location kind");
+      if (kind == "process") {
+        li.kind = LocKind::kProcess;
+      } else if (kind == "thread") {
+        li.kind = LocKind::kThread;
+      } else {
+        throw ParseFail{DiagnosticKind::kBadEnum, kind_col,
+                        "unknown location kind '" + kind + "'"};
+      }
+      li.rank = f.num<std::int32_t>("rank");
+      li.thread = f.num<std::int32_t>("thread");
+      li.name = f.rest_name();
+      t.add_location(std::move(li));  // TraceError -> kIdOrder via run()
     } else if (kw == "comm") {
-      CommId id;
-      std::string kind;
-      std::size_t n = 0;
-      ls >> id >> kind >> n;
-      std::vector<LocId> members(n);
-      for (auto& m : members) ls >> m;
-      const std::string name = read_name(ls);
-      const CommId got = t.add_comm(
-          kind == "mpi" ? CommKind::kMpiComm : CommKind::kOmpTeam,
-          std::move(members), name);
-      if (got != id) throw TraceError("comm ids out of order in trace");
+      const CommId id = f.num<CommId>("comm id");
+      const int kind_col = f.column();
+      const std::string kind = f.word("comm kind");
+      CommKind ck;
+      if (kind == "mpi") {
+        ck = CommKind::kMpiComm;
+      } else if (kind == "team") {
+        ck = CommKind::kOmpTeam;
+      } else {
+        throw ParseFail{DiagnosticKind::kBadEnum, kind_col,
+                        "unknown comm kind '" + kind + "'"};
+      }
+      const auto n = f.num<std::int64_t>("member count");
+      // The member list lives on this line; a count the line cannot hold is
+      // corrupt (and guards the pre-allocation against absurd sizes).
+      if (n < 0 || static_cast<std::size_t>(n) > line.size()) {
+        throw ParseFail{DiagnosticKind::kMalformedRecord, f.column(),
+                        "implausible member count " + std::to_string(n)};
+      }
+      std::vector<LocId> members(static_cast<std::size_t>(n));
+      for (auto& m : members) m = f.num<LocId>("member");
+      for (LocId m : members) check_loc(m, kind_col);
+      const std::string name = f.rest_name();
+      const CommId got = t.add_comm(ck, std::move(members), name);
+      if (got != id) {
+        throw ParseFail{DiagnosticKind::kIdOrder, 1,
+                        "comm id " + std::to_string(id) +
+                            " out of dense order (added as " +
+                            std::to_string(got) + ")"};
+      }
     } else if (kw == "E" || kw == "X") {
-      LocId loc;
-      std::int64_t ns;
-      RegionId region;
-      ls >> loc >> ns >> region;
+      const int loc_col = f.column();
+      const LocId loc = f.num<LocId>("location");
+      const auto ns = f.num<std::int64_t>("timestamp");
+      const int region_col = f.column();
+      const RegionId region = f.num<RegionId>("region");
+      check_loc(loc, loc_col);
+      if (region < 0 ||
+          static_cast<std::size_t>(region) >= t.regions().size()) {
+        throw ParseFail{DiagnosticKind::kUnknownRegion, region_col,
+                        "region " + std::to_string(region) +
+                            " was never declared"};
+      }
       if (kw == "E") {
         t.enter(loc, VTime(ns), region);
       } else {
         t.exit(loc, VTime(ns), region);
       }
     } else if (kw == "S" || kw == "R") {
-      LocId loc;
-      std::int64_t ns;
-      std::int32_t peer, tag;
-      CommId comm;
-      std::int64_t bytes;
-      ls >> loc >> ns >> peer >> tag >> comm >> bytes;
+      const int loc_col = f.column();
+      const LocId loc = f.num<LocId>("location");
+      const auto ns = f.num<std::int64_t>("timestamp");
+      const auto peer = f.num<std::int32_t>("peer");
+      const auto tag = f.num<std::int32_t>("tag");
+      const int comm_col = f.column();
+      const CommId comm = f.num<CommId>("comm");
+      const auto bytes = f.num<std::int64_t>("bytes");
+      check_loc(loc, loc_col);
+      check_comm(comm, comm_col);
       if (kw == "S") {
         t.send(loc, VTime(ns), peer, tag, comm, bytes);
       } else {
         t.recv(loc, VTime(ns), peer, tag, comm, bytes);
       }
     } else if (kw == "C") {
-      LocId loc;
-      std::int64_t ns, enter_ns, seq, bin, bout;
-      CommId comm;
-      std::string op;
-      std::int32_t root;
-      ls >> loc >> ns >> enter_ns >> comm >> seq >> op >> root >> bin >> bout;
-      t.coll_end(loc, VTime(ns), VTime(enter_ns), comm, seq,
-                 coll_op_from_string(op), root, bin, bout);
+      const int loc_col = f.column();
+      const LocId loc = f.num<LocId>("location");
+      const auto ns = f.num<std::int64_t>("timestamp");
+      const auto enter_ns = f.num<std::int64_t>("enter timestamp");
+      const int comm_col = f.column();
+      const CommId comm = f.num<CommId>("comm");
+      const auto seq = f.num<std::int64_t>("seq");
+      const int op_col = f.column();
+      const std::string op = f.word("collective op");
+      const auto root = f.num<std::int32_t>("root");
+      const auto bin = f.num<std::int64_t>("bytes in");
+      const auto bout = f.num<std::int64_t>("bytes out");
+      CollOp cop;
+      try {
+        cop = coll_op_from_string(op);
+      } catch (const TraceError&) {
+        throw ParseFail{DiagnosticKind::kBadEnum, op_col,
+                        "unknown collective op '" + op + "'"};
+      }
+      check_loc(loc, loc_col);
+      check_comm(comm, comm_col);
+      t.coll_end(loc, VTime(ns), VTime(enter_ns), comm, seq, cop, root, bin,
+                 bout);
     } else if (kw == "LA" || kw == "LR") {
-      LocId loc;
-      std::int64_t ns;
-      std::int32_t lock;
-      ls >> loc >> ns >> lock;
+      const int loc_col = f.column();
+      const LocId loc = f.num<LocId>("location");
+      const auto ns = f.num<std::int64_t>("timestamp");
+      const auto lock = f.num<std::int32_t>("lock id");
+      check_loc(loc, loc_col);
       if (kw == "LA") {
         t.lock_acquire(loc, VTime(ns), lock);
       } else {
         t.lock_release(loc, VTime(ns), lock);
       }
     } else {
-      throw TraceError("unknown trace record: " + line);
+      throw ParseFail{DiagnosticKind::kUnknownRecord, 1,
+                      "unknown trace record '" + kw + "'"};
     }
-    if (ls.fail()) throw TraceError("malformed trace record: " + line);
   }
-  return t;
+
+  std::istream& is_;
+  LoadOptions opt_;
+  LoadResult res_;
+  int lineno_ = 0;
+  bool last_line_incomplete_ = false;
+};
+
+}  // namespace
+
+std::string ParseDiagnostic::str() const {
+  std::string out = "trace:" + std::to_string(line);
+  if (column > 0) out += ":" + std::to_string(column);
+  out += ": ";
+  out += to_string(kind);
+  out += ": ";
+  out += message;
+  out += " (see docs/TRACE_FORMAT.md ";
+  out += spec_section(kind);
+  out += ")";
+  return out;
+}
+
+LoadResult load_trace(std::istream& is, const LoadOptions& options) {
+  Loader loader(is, options);
+  return loader.run();
+}
+
+Trace Trace::load(std::istream& is) {
+  LoadOptions opt;
+  opt.strict = true;
+  return std::move(load_trace(is, opt).trace);
 }
 
 }  // namespace ats::trace

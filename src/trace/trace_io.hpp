@@ -1,0 +1,82 @@
+// Robust trace loading: the programmatic face of the on-disk contract.
+//
+// docs/TRACE_FORMAT.md specifies the text format; this header specifies how
+// a reader is allowed to fail.  Every way a record can be unusable has a
+// DiagnosticKind, every diagnostic carries the 1-based line (and, where
+// known, column) it was raised at, and the loader runs in one of two modes:
+//
+//   strict  — the first diagnostic aborts the load with a TraceError whose
+//             message embeds line:column and cites the format document.
+//             This is what Trace::load() does.
+//   lenient — unusable records are dropped, the diagnostic is collected,
+//             and loading continues; the caller gets whatever survived plus
+//             the full damage report.  This is what a production tool does
+//             with a truncated or corrupted trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ats::trace {
+
+/// Everything that can be wrong with a trace file, per record.  The golden
+/// tests in tests/trace_io_diagnostics_test.cpp exercise each kind once.
+enum class DiagnosticKind : std::uint8_t {
+  kBadHeader,        ///< missing/foreign magic line or unsupported version
+  kUnknownRecord,    ///< line starts with an unknown keyword
+  kMalformedRecord,  ///< a field failed to parse or is missing
+  kUnknownLocation,  ///< record references a location never declared
+  kUnknownRegion,    ///< enter/exit references a region never declared
+  kUnknownComm,      ///< message/collective references an unknown comm
+  kIdOrder,          ///< region/loc/comm declared out of dense id order
+  kBadEnum,          ///< unknown region kind, location kind, or coll op
+  kTruncated,        ///< the stream ends inside the final record
+  kCount_,           // sentinel
+};
+
+inline constexpr std::size_t kDiagnosticKindCount =
+    static_cast<std::size_t>(DiagnosticKind::kCount_);
+
+const char* to_string(DiagnosticKind k);
+
+/// One recoverable defect found while loading a trace stream.
+struct ParseDiagnostic {
+  DiagnosticKind kind = DiagnosticKind::kMalformedRecord;
+  int line = 0;    ///< 1-based line number in the stream
+  int column = 0;  ///< 1-based column of the offending field; 0 when unknown
+  std::string message;
+
+  /// "trace:12:7: malformed-record: ... (see docs/TRACE_FORMAT.md §4)"
+  std::string str() const;
+};
+
+struct LoadOptions {
+  /// Throw TraceError at the first diagnostic instead of recovering.
+  bool strict = false;
+  /// Lenient mode: stop *storing* diagnostics past this count (records are
+  /// still counted in LoadResult::records_dropped, so the totals stay
+  /// honest on pathological inputs).
+  std::size_t max_diagnostics = 256;
+};
+
+struct LoadResult {
+  Trace trace;
+  std::vector<ParseDiagnostic> diagnostics;
+  std::size_t records_ok = 0;       ///< records applied to the trace
+  std::size_t records_dropped = 0;  ///< records skipped with a diagnostic
+  bool header_ok = false;
+
+  /// True when every record of the stream was usable.
+  bool ok() const { return header_ok && records_dropped == 0; }
+};
+
+/// Loads a serialised trace with per-record fault recovery.  Never throws
+/// in lenient mode (the default); in strict mode throws TraceError carrying
+/// the first diagnostic.
+LoadResult load_trace(std::istream& is, const LoadOptions& options = {});
+
+}  // namespace ats::trace

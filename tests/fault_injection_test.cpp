@@ -1,0 +1,301 @@
+// Fuzz-style robustness tests for the trace pipeline (DESIGN.md §7).
+//
+// For every registered property function, the canonical positive trace is
+// perturbed by 50+ seeded FaultInjector configurations; the lenient
+// analyzer must survive each without crash or hang, and its DataQuality
+// summary must reconcile with the injector's own report of what it
+// planted.  Below the documented corruption threshold (EXPERIMENTS.md,
+// TAB-ROB: ≤1% dropped events, ≤50µs jitter) detection must still
+// succeed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "analyzer/analyzer.hpp"
+#include "faults/fault_injector.hpp"
+#include "gen/registry.hpp"
+#include "test_util.hpp"
+#include "trace/trace_io.hpp"
+
+namespace ats {
+namespace {
+
+using faults::FaultConfig;
+using faults::FaultInjector;
+using faults::FaultKind;
+using gen::PropertyDef;
+using gen::Registry;
+
+/// Canonical positive trace per property, generated once and cached — the
+/// sweep re-reads it dozens of times.
+const trace::Trace& canonical_trace(const PropertyDef& def) {
+  static std::map<std::string, trace::Trace> cache;
+  auto it = cache.find(def.name);
+  if (it == cache.end()) {
+    gen::RunConfig cfg;
+    cfg.nprocs = std::max(def.min_procs, 4);
+    cfg.mpi_cost = testutil::clean_mpi_cost();
+    cfg.omp_cost = testutil::clean_omp_cost();
+    it = cache.emplace(def.name,
+                       run_single_property(def, def.positive, cfg)).first;
+  }
+  return it->second;
+}
+
+analyze::AnalysisResult lenient_analyze(const trace::Trace& t) {
+  analyze::AnalyzerOptions opt;
+  opt.lenient = true;
+  return analyze::analyze(t, opt);
+}
+
+class FaultFuzzTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultFuzzTest, SurvivesFiftySeededConfigs) {
+  const PropertyDef& def = Registry::instance().find(GetParam());
+  const trace::Trace& base = canonical_trace(def);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultInjector inj(FaultInjector::random_config(seed));
+    const trace::Trace mutated = inj.apply(base);
+    const auto result = lenient_analyze(mutated);
+    // Every surviving event was accounted for — nothing silently vanished
+    // between the merge and the replay.
+    EXPECT_EQ(result.quality.events_seen, mutated.event_count())
+        << def.name << " seed " << seed;
+    if (seed % 5 != 0) continue;
+    // Every fifth seed also runs the serialised path: save, garble the
+    // text, reload leniently, analyze the remains.
+    std::ostringstream os;
+    mutated.save(os);
+    const std::string damaged = inj.corrupt_text(os.str());
+    std::istringstream in(damaged);
+    trace::LoadOptions lopt;
+    lopt.max_diagnostics = 1u << 20;
+    const trace::LoadResult loaded = trace::load_trace(in, lopt);
+    if (!loaded.header_ok) continue;  // header is never garbled; paranoia
+    const auto r2 = lenient_analyze(loaded.trace);
+    EXPECT_EQ(r2.quality.events_seen, loaded.trace.event_count())
+        << def.name << " seed " << seed << " (text path)";
+  }
+}
+
+TEST_P(FaultFuzzTest, DetectionSurvivesBelowCorruptionThreshold) {
+  // EXPERIMENTS.md (TAB-ROB) documents the threshold: with at most 1% of
+  // events dropped and at most 50µs of timestamp jitter, every positive
+  // property function must still show clear severity.
+  const PropertyDef& def = Registry::instance().find(GetParam());
+  if (!def.expected.has_value()) {
+    GTEST_SKIP() << "negative-only function";
+  }
+  FaultConfig cfg;
+  cfg.seed = 20260806;
+  cfg.drop_event = 0.01;
+  cfg.jitter_ns = 50'000;
+  cfg.jitter_events = 0.25;
+  FaultInjector inj(cfg);
+  const trace::Trace mutated = inj.apply(canonical_trace(def));
+  const auto result = lenient_analyze(mutated);
+  EXPECT_GT(result.severity_fraction(*def.expected), 0.01)
+      << def.name << ": detection lost below the corruption threshold ("
+      << inj.report().str() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProperties, FaultFuzzTest,
+    ::testing::ValuesIn(Registry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+// ---------------------------------------------------------- reconciliation
+
+TEST(FaultReconcile, DroppedRecvsLeaveSendsUnmatched) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.drop_recv = 1.0;
+  FaultInjector inj(cfg);
+  const trace::Trace mutated = inj.apply(canonical_trace(def));
+  const std::size_t dropped = inj.report().count(FaultKind::kDropRecv);
+  ASSERT_GT(dropped, 0u);
+  const auto result = lenient_analyze(mutated);
+  EXPECT_EQ(result.quality.unmatched_sends, dropped);
+  EXPECT_EQ(result.quality.unmatched_recvs, 0u);
+  EXPECT_FALSE(result.quality.clean());
+}
+
+TEST(FaultReconcile, DroppedSendsLeaveRecvsUnmatched) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.drop_send = 1.0;
+  FaultInjector inj(cfg);
+  const trace::Trace mutated = inj.apply(canonical_trace(def));
+  const std::size_t dropped = inj.report().count(FaultKind::kDropSend);
+  ASSERT_GT(dropped, 0u);
+  const auto result = lenient_analyze(mutated);
+  EXPECT_EQ(result.quality.unmatched_recvs, dropped);
+  EXPECT_EQ(result.quality.unmatched_sends, 0u);
+}
+
+TEST(FaultReconcile, DuplicatesInflateEventsSeenExactly) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const trace::Trace& base = canonical_trace(def);
+  FaultConfig cfg;
+  cfg.seed = 11;
+  cfg.duplicate_event = 0.5;
+  FaultInjector inj(cfg);
+  const trace::Trace mutated = inj.apply(base);
+  const std::size_t dups = inj.report().count(FaultKind::kDuplicateEvent);
+  ASSERT_GT(dups, 0u);
+  const auto result = lenient_analyze(mutated);
+  EXPECT_EQ(result.quality.events_seen, base.event_count() + dups);
+}
+
+TEST(FaultReconcile, BogusLocationsAllDiagnosedByLoader) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  std::ostringstream os;
+  canonical_trace(def).save(os);
+  FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.bogus_location = 1.0;
+  FaultInjector inj(cfg);
+  const std::string damaged = inj.corrupt_text(os.str());
+  const std::size_t planted = inj.report().count(FaultKind::kBogusLocation);
+  ASSERT_GT(planted, 0u);
+  std::istringstream in(damaged);
+  trace::LoadOptions opt;
+  opt.max_diagnostics = planted + 64;
+  const trace::LoadResult res = trace::load_trace(in, opt);
+  EXPECT_TRUE(res.header_ok);
+  const auto diagnosed = static_cast<std::size_t>(std::count_if(
+      res.diagnostics.begin(), res.diagnostics.end(),
+      [](const trace::ParseDiagnostic& d) {
+        return d.kind == trace::DiagnosticKind::kUnknownLocation;
+      }));
+  EXPECT_EQ(diagnosed, planted);
+  EXPECT_EQ(res.records_dropped, planted);
+}
+
+TEST(FaultReconcile, TruncationKeepsHeaderAndRecovers) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  std::ostringstream os;
+  canonical_trace(def).save(os);
+  FaultConfig cfg;
+  cfg.seed = 17;
+  cfg.truncate_fraction = 0.6;
+  FaultInjector inj(cfg);
+  const std::string damaged = inj.corrupt_text(os.str());
+  ASSERT_EQ(inj.report().count(FaultKind::kTruncateFile), 1u);
+  ASSERT_LT(damaged.size(), os.str().size());
+  std::istringstream in(damaged);
+  const trace::LoadResult res = trace::load_trace(in);
+  EXPECT_TRUE(res.header_ok);
+  // At most the single cut record is lost; everything before it loads.
+  EXPECT_LE(res.records_dropped, 1u);
+  const auto result = lenient_analyze(res.trace);
+  EXPECT_EQ(result.quality.events_seen, res.trace.event_count());
+}
+
+TEST(FaultDetect, ClockSkewIsFlagged) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  FaultConfig cfg;
+  cfg.seed = 1;
+  cfg.clock_skew_ns = 50'000'000;  // ±50ms across all locations
+  cfg.skew_locations = 1.0;
+  FaultInjector inj(cfg);
+  const trace::Trace mutated = inj.apply(canonical_trace(def));
+  ASSERT_GT(inj.report().count(FaultKind::kClockSkew), 0u);
+  const auto result = lenient_analyze(mutated);
+  EXPECT_TRUE(result.quality.clock_skew_detected);
+}
+
+TEST(FaultDetect, PristineTraceIsClean) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const auto result = lenient_analyze(canonical_trace(def));
+  EXPECT_TRUE(result.quality.clean());
+  EXPECT_EQ(result.quality.events_seen,
+            canonical_trace(def).event_count());
+}
+
+TEST(FaultDetect, InjectorIsDeterministic) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const trace::Trace& base = canonical_trace(def);
+  const FaultConfig cfg = FaultInjector::random_config(99);
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  const trace::Trace ta = a.apply(base);
+  const trace::Trace tb = b.apply(base);
+  EXPECT_EQ(a.report().counts, b.report().counts);
+  std::ostringstream sa, sb;
+  ta.save(sa);
+  tb.save(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+// ------------------------------------------------------------ degradation
+
+TEST(GracefulDegradation, UnbalancedExitIsRepairedInLenientMode) {
+  // loc 0 enters main, enters work, then exits main without exiting work:
+  // lenient replay must synthetically close `work` (counted as a repair)
+  // instead of throwing.
+  trace::Trace t;
+  trace::LocationInfo li;
+  li.id = 0;
+  li.kind = trace::LocKind::kProcess;
+  li.name = "p0";
+  t.add_location(li);
+  const auto main_r = t.regions().intern("main", trace::RegionKind::kUser);
+  const auto work_r = t.regions().intern("work", trace::RegionKind::kWork);
+  t.enter(0, VTime(100), main_r);
+  t.enter(0, VTime(200), work_r);
+  t.exit(0, VTime(400), main_r);  // work never exited
+
+  EXPECT_THROW(analyze::analyze(t), TraceError);  // strict contract holds
+
+  const auto result = lenient_analyze(t);
+  EXPECT_EQ(result.quality.unbalanced_exits, 1u);
+  EXPECT_GE(result.quality.events_repaired, 1u);
+  EXPECT_FALSE(result.quality.clean());
+}
+
+TEST(GracefulDegradation, StrayExitIsDroppedInLenientMode) {
+  // An exit for a region that was never entered cannot be repaired; it is
+  // dropped and counted.
+  trace::Trace t;
+  trace::LocationInfo li;
+  li.id = 0;
+  li.kind = trace::LocKind::kProcess;
+  li.name = "p0";
+  t.add_location(li);
+  const auto main_r = t.regions().intern("main", trace::RegionKind::kUser);
+  const auto work_r = t.regions().intern("work", trace::RegionKind::kWork);
+  t.enter(0, VTime(100), main_r);
+  t.exit(0, VTime(200), work_r);  // never entered
+  t.exit(0, VTime(300), main_r);
+
+  EXPECT_THROW(analyze::analyze(t), TraceError);
+
+  const auto result = lenient_analyze(t);
+  EXPECT_EQ(result.quality.unbalanced_exits, 1u);
+  EXPECT_GE(result.quality.events_dropped, 1u);
+}
+
+TEST(FaultReport, ReportListsNonZeroKindsOnly) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.drop_event = 1.0;
+  FaultInjector inj(cfg);
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  (void)inj.apply(canonical_trace(def));
+  const std::string s = inj.report().str();
+  EXPECT_NE(s.find("drop-event"), std::string::npos);
+  EXPECT_EQ(s.find("duplicate-event"), std::string::npos);
+  EXPECT_EQ(inj.report().total(),
+            inj.report().count(FaultKind::kDropEvent));
+}
+
+}  // namespace
+}  // namespace ats
