@@ -18,6 +18,7 @@
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/strutil.hpp"
+#include "runner/supervisor.hpp"
 
 namespace {
 
@@ -40,11 +41,17 @@ int main() {
       "expected property", "positive", "negative", "dominant finding (pos)");
   std::printf("%s\n", std::string(110, '-').c_str());
 
-  const auto& defs = gen::Registry::instance().all();
+  // The matrix covers the functions expected to complete; pathological
+  // entries (deadlock/hang generators) are classified separately below
+  // under the supervised runner.
+  std::vector<const gen::PropertyDef*> defs;
+  for (const auto& def : gen::Registry::instance().all()) {
+    if (def.expected_outcome == gen::RunOutcome::kOk) defs.push_back(&def);
+  }
   std::vector<MatrixRow> rows(defs.size());
   par::ThreadPool pool;
   pool.parallel_for(defs.size(), [&](std::size_t i) {
-    const auto& def = defs[i];
+    const auto& def = *defs[i];
     MatrixRow& row = rows[i];
     const gen::RunConfig cfg =
         benchutil::default_config(std::max(def.min_procs, 4));
@@ -73,7 +80,7 @@ int main() {
 
   int pos_ok = 0, pos_total = 0, neg_ok = 0, neg_total = 0;
   for (std::size_t i = 0; i < defs.size(); ++i) {
-    const auto& def = defs[i];
+    const auto& def = *defs[i];
     const MatrixRow& row = rows[i];
     if (row.pos_counted) {
       ++pos_total;
@@ -105,11 +112,11 @@ int main() {
   crippled.disabled_patterns = {analyze::PropertyId::kLateSender,
                                 analyze::PropertyId::kWaitAtBarrier};
   std::vector<const gen::PropertyDef*> affected;
-  for (const auto& def : defs) {
-    if (def.expected.has_value() &&
-        (*def.expected == analyze::PropertyId::kLateSender ||
-         *def.expected == analyze::PropertyId::kWaitAtBarrier)) {
-      affected.push_back(&def);
+  for (const auto* def : defs) {
+    if (def->expected.has_value() &&
+        (*def->expected == analyze::PropertyId::kLateSender ||
+         *def->expected == analyze::PropertyId::kWaitAtBarrier)) {
+      affected.push_back(def);
     }
   }
   // vector<char>, not vector<bool>: cells write concurrently and
@@ -136,8 +143,43 @@ int main() {
               "suite works\n",
               missed_as_expected, should_miss);
 
+  // ---- pathological programs under the supervised runner -----------------
+  // The registry's negative-test idea extended to fault classes: programs
+  // whose *declared* result is a failure outcome.  Each runs as a
+  // supervised one-cell sweep under tight budgets; the runner must survive
+  // it and classify it exactly as declared.
+  benchutil::heading(
+      "TAB-DM (faults): pathological programs classified under supervision");
+  runner::SupervisorOptions sup;
+  sup.virtual_time_limit = VDur::seconds(1.0);
+  sup.yield_limit = 200'000;
+  const runner::SupervisedRunner supervised(sup);
+  const auto patho = gen::Registry::instance().pathological_names();
+  int classified_ok = 0;
+  std::printf("%-30s %-14s %-14s %s\n", "program", "declared", "classified",
+              "note");
+  std::printf("%s\n", std::string(90, '-').c_str());
+  for (const auto& name : patho) {
+    const auto& def = gen::Registry::instance().find(name);
+    gen::ExperimentPlan plan;
+    plan.property = name;
+    plan.axis = {def.params.front().name, {def.params.front().default_value}};
+    plan.config.nprocs = std::max(def.min_procs, 2);
+    plan.jobs = 1;
+    const auto cells = supervised.run_sweep(plan);
+    const auto& row = cells.front();
+    const bool match = row.outcome == def.expected_outcome;
+    if (match) ++classified_ok;
+    std::printf("%-30s %-14s %-14s %s\n", name.c_str(),
+                gen::to_string(def.expected_outcome),
+                gen::to_string(row.outcome), row.note.c_str());
+  }
+  std::printf("\nfault classification: %d/%zu as declared\n", classified_ok,
+              patho.size());
+
   return (pos_ok == pos_total && neg_ok == neg_total &&
-          missed_as_expected == should_miss)
+          missed_as_expected == should_miss &&
+          classified_ok == static_cast<int>(patho.size()))
              ? 0
              : 1;
 }

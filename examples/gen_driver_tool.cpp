@@ -55,10 +55,10 @@ int main(int argc, char** argv) {
       std::cout << ats::gen::describe_property(
           ats::gen::Registry::instance().find(argv[2]));
       return 0;
-    } catch (const ats::Error& e) {
+    } catch (const ats::UsageError& e) {
       std::cerr << "error: " << e.what() << "\nknown properties:\n";
       list_names(std::cerr);
-      return 1;
+      return 2;
     }
   }
   if (argc != 3 || (!first.empty() && first[0] == '-')) {
@@ -74,9 +74,14 @@ int main(int argc, char** argv) {
     }
     out << ats::gen::generate_driver_source(def);
     return 0;
-  } catch (const ats::Error& e) {
+  } catch (const ats::UsageError& e) {
+    // Unknown property name: the usage exit code, like the generated
+    // drivers themselves (see gen::exit_code for the outcome classes).
     std::cerr << "error: " << e.what() << "\nknown properties:\n";
     list_names(std::cerr);
-    return 1;
+    return 2;
+  } catch (const ats::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return ats::gen::exit_code(ats::gen::RunOutcome::kAnalysisError);
   }
 }

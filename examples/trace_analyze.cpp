@@ -11,6 +11,7 @@
 #include <string>
 
 #include "analyzer/analyzer.hpp"
+#include "gen/registry.hpp"
 #include "report/cube_view.hpp"
 #include "report/cube_xml.hpp"
 #include "report/timeline.hpp"
@@ -100,9 +101,14 @@ int main(int argc, char** argv) {
       report::write_cube_xml(xml, result, tr);
       std::cout << "\ncube written to " << xml_path << "\n";
     }
-  } catch (const ats::Error& e) {
+  } catch (const ats::UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return 2;
+  } catch (const ats::Error& e) {
+    // Load or analysis failure on an otherwise valid invocation: the
+    // outcome-class exit code shared with the generated drivers.
+    std::cerr << "analysis error: " << e.what() << "\n";
+    return gen::exit_code(gen::RunOutcome::kAnalysisError);
   }
   return 0;
 }

@@ -43,6 +43,15 @@ class DeadlockError : public Error {
   explicit DeadlockError(const std::string& what) : Error(what) {}
 };
 
+/// The engine exhausted a supervision budget (virtual time, yields, or host
+/// wall clock) before the simulation completed: runaway loop, livelock, or
+/// host-level hang.  The message carries the same per-location state dump
+/// as DeadlockError.
+class HangError : public Error {
+ public:
+  explicit HangError(const std::string& what) : Error(what) {}
+};
+
 /// Trace file / trace model inconsistency.
 class TraceError : public Error {
  public:

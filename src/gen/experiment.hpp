@@ -45,11 +45,31 @@ struct ExperimentRow {
   bool detected = false;      ///< dominant finding == expected property
   std::string dominant;       ///< name of the dominant finding ("-" if none)
   VDur total_time;
+  /// How the cell ended.  Failed cells (outcome != kOk) keep zero severity
+  /// and dominant "-"; `note` carries the first line of the error.
+  RunOutcome outcome = RunOutcome::kOk;
+  /// Simulation attempts spent on the cell (1 without a retrying runner).
+  int attempts = 1;
+  std::string note;
 };
+
+/// True iff any row failed — the condition under which the CSV/table
+/// renderers append the outcome column (clean sweeps keep the historical,
+/// byte-identical format).
+bool any_cell_failed(const std::vector<ExperimentRow>& rows);
+
+/// Runs one grid cell: applies `value` to the axis parameter, simulates,
+/// analyzes, classifies.  Deadlocks, hangs and runtime faults are caught
+/// and recorded in the row's outcome; plan-level misuse (unknown
+/// parameters, nprocs below the property minimum) still throws UsageError.
+ExperimentRow run_experiment_cell(const ExperimentPlan& plan,
+                                  const PropertyDef& def,
+                                  const std::string& value);
 
 /// Runs the sweep; one row per axis value, in order.  Cells run in
 /// parallel per ExperimentPlan::jobs; results are independent of the
-/// worker count.
+/// worker count.  Failed cells degrade to rows with a non-kOk outcome
+/// instead of aborting the sweep.
 std::vector<ExperimentRow> run_experiment(const ExperimentPlan& plan);
 
 /// Renders rows as CSV (header + one line per row).

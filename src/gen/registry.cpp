@@ -14,6 +14,28 @@ const char* to_string(Paradigm p) {
   return "?";
 }
 
+const char* to_string(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kOk: return "ok";
+    case RunOutcome::kDeadlock: return "deadlock";
+    case RunOutcome::kHang: return "hang";
+    case RunOutcome::kMpiError: return "mpi_error";
+    case RunOutcome::kAnalysisError: return "analysis_error";
+  }
+  return "?";
+}
+
+int exit_code(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kOk: return 0;
+    case RunOutcome::kDeadlock: return 3;
+    case RunOutcome::kHang: return 4;
+    case RunOutcome::kMpiError: return 5;
+    case RunOutcome::kAnalysisError: return 6;
+  }
+  return 1;
+}
+
 namespace {
 
 using analyze::PropertyId;
@@ -398,6 +420,67 @@ Registry::Registry() {
                                      m.get_int("r", 3),
                                      m.get_int("nthreads", 4));
            }});
+
+  // ------------------------------------- pathological (fault scenarios)
+  // Programs that exhibit a known *failure* instead of a known property:
+  // the paper's negative-test idea extended to fault classes a tool (and
+  // this suite's own runner) must survive and classify.  expected_outcome
+  // declares the failure; Registry::names() excludes these, so only
+  // supervised callers (src/runner, bench/tab_detection_matrix) reach
+  // them.
+  add({.name = "pathological_deadlock",
+       .paradigm = Paradigm::kMpi,
+       .brief = "every rank receives from its neighbour; nobody sends",
+       .params = {{"tag", ParamKind::kInt, "0",
+                   "message tag of the never-matched receive"}},
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 2,
+       .expected_outcome = RunOutcome::kDeadlock,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             mpi::Proc& p = c.mpi_proc();
+             mpi::Comm& cm = p.comm_world();
+             int buf = 0;
+             const int peer = (p.rank(cm) + 1) % cm.size();
+             p.recv(&buf, 1, mpi::Datatype::kInt32, peer,
+                    m.get_int("tag", 0), cm);
+           }});
+  add({.name = "pathological_hang",
+       .paradigm = Paradigm::kMpi,
+       .brief = "an infinite compute loop; virtual time grows unbounded",
+       .params = {{"step", ParamKind::kDouble, "0.001",
+                   "virtual seconds advanced per loop iteration"}},
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 1,
+       .expected_outcome = RunOutcome::kHang,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             const VDur step = VDur::seconds(m.get_double("step", 0.001));
+             for (;;) c.sim->advance(step);
+           }});
+  add({.name = "pathological_livelock",
+       .paradigm = Paradigm::kMpi,
+       .brief = "an infinite yield loop; virtual time never advances",
+       .params = {{"poll", ParamKind::kDouble, "0",
+                   "virtual seconds advanced between yields (0 = pure "
+                   "livelock)"}},
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 1,
+       .expected_outcome = RunOutcome::kHang,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             const VDur poll = VDur::seconds(m.get_double("poll", 0.0));
+             for (;;) {
+               c.sim->yield();
+               if (poll > VDur::zero()) c.sim->advance(poll);
+             }
+           }});
 }
 
 const Registry& Registry::instance() {
@@ -421,7 +504,17 @@ bool Registry::contains(const std::string& name) const {
 std::vector<std::string> Registry::names() const {
   std::vector<std::string> out;
   out.reserve(defs_.size());
-  for (const auto& d : defs_) out.push_back(d.name);
+  for (const auto& d : defs_) {
+    if (d.expected_outcome == RunOutcome::kOk) out.push_back(d.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::pathological_names() const {
+  std::vector<std::string> out;
+  for (const auto& d : defs_) {
+    if (d.expected_outcome != RunOutcome::kOk) out.push_back(d.name);
+  }
   return out;
 }
 
@@ -436,6 +529,7 @@ trace::Trace run_single_property(const PropertyDef& def, const ParamMap& pmap,
   opt.cost = cfg.mpi_cost;
   opt.engine = cfg.engine;
   opt.trace_enabled = cfg.trace_enabled;
+  opt.faults = cfg.faults;
   auto result = mpi::run_mpi(opt, [&](mpi::Proc& p) {
     if (def.uses_openmp) {
       omp::Runtime rt(p.world().trace(), cfg.omp_cost);

@@ -27,6 +27,27 @@ enum class Paradigm : std::uint8_t { kMpi, kOmp, kHybrid, kSeq };
 
 const char* to_string(Paradigm p);
 
+/// How a simulated run of a property function ended.  kOk means the
+/// simulation and the analysis both completed; the failure classes mirror
+/// the pathologies a supervised runner must survive (src/runner), and
+/// pathological registry entries declare which one they provoke.
+enum class RunOutcome : std::uint8_t {
+  kOk,             ///< simulation and analysis completed
+  kDeadlock,       ///< simt::DeadlockError — all unfinished ranks blocked
+  kHang,           ///< ats::HangError — a supervision budget exhausted
+  kMpiError,       ///< MpiError/OmpError — runtime violation or injected crash
+  kAnalysisError,  ///< the trace was produced but the analyzer failed
+};
+
+inline constexpr std::size_t kRunOutcomeCount = 5;
+
+const char* to_string(RunOutcome o);
+
+/// Process exit code for one outcome class, shared by the generated
+/// drivers and the CLI tools: ok = 0, deadlock = 3, hang = 4,
+/// mpi_error = 5, analysis_error = 6 (1 stays generic failure, 2 usage).
+int exit_code(RunOutcome o);
+
 struct PropertyDef {
   std::string name;       ///< function name, e.g. "late_sender"
   Paradigm paradigm = Paradigm::kMpi;
@@ -41,6 +62,12 @@ struct PropertyDef {
   /// Minimum number of MPI processes for a meaningful run.
   int min_procs = 1;
   bool uses_openmp = false;
+  /// How a run of this function is expected to end.  kOk for every normal
+  /// property function; the pathological entries (deadlock / hang /
+  /// livelock generators) declare their failure class here, the same way
+  /// `expected` declares the property a positive test must trigger.  Run
+  /// non-kOk entries only under supervision budgets (see src/runner).
+  RunOutcome expected_outcome = RunOutcome::kOk;
   /// Invokes the property function with parameters from `pm`.
   std::function<void(core::PropCtx&, const ParamMap&)> invoke;
 };
@@ -52,7 +79,12 @@ class Registry {
   const std::vector<PropertyDef>& all() const { return defs_; }
   const PropertyDef& find(const std::string& name) const;
   bool contains(const std::string& name) const;
+  /// Names of the functions expected to complete (expected_outcome == kOk)
+  /// — the safe set for unsupervised sweeps and parameterised tests.
   std::vector<std::string> names() const;
+  /// Names of the pathological entries (expected_outcome != kOk); run them
+  /// only under supervision budgets.
+  std::vector<std::string> pathological_names() const;
 
  private:
   Registry();
@@ -66,6 +98,9 @@ struct RunConfig {
   omp::OmpCostModel omp_cost{};
   simt::EngineOptions engine{};
   bool trace_enabled = true;
+  /// Seeded rank faults injected into the simulated runtime (crash / stall
+  /// / drop sends); empty = clean run.
+  mpi::RankFaultPlan faults{};
 };
 
 /// Executes one property function as a complete simulated program (the

@@ -1,0 +1,60 @@
+#include "mpisim/faultplan.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ats::mpi {
+
+const char* to_string(RankFaultKind k) {
+  switch (k) {
+    case RankFaultKind::kCrash: return "crash";
+    case RankFaultKind::kStall: return "stall";
+    case RankFaultKind::kDropSends: return "drop-sends";
+  }
+  return "?";
+}
+
+std::string RankFaultReport::str() const {
+  std::ostringstream os;
+  if (crashes > 0) os << "crashes: " << crashes << "\n";
+  if (stalls > 0) os << "stalls: " << stalls << "\n";
+  if (sends_dropped > 0) os << "sends dropped: " << sends_dropped << "\n";
+  return os.str();
+}
+
+RankFaultPlan& RankFaultPlan::crash(int rank, VTime at) {
+  faults.push_back({rank, RankFaultKind::kCrash, at, VDur::zero(), 1.0});
+  return *this;
+}
+
+RankFaultPlan& RankFaultPlan::stall(int rank, VTime at, VDur duration) {
+  faults.push_back({rank, RankFaultKind::kStall, at, duration, 1.0});
+  return *this;
+}
+
+RankFaultPlan& RankFaultPlan::drop_sends(int rank, VTime from,
+                                         double probability) {
+  faults.push_back(
+      {rank, RankFaultKind::kDropSends, from, VDur::zero(), probability});
+  return *this;
+}
+
+void RankFaultPlan::validate(int nprocs) const {
+  for (const RankFault& f : faults) {
+    require(f.rank >= 0 && f.rank < nprocs,
+            "RankFaultPlan: rank " + std::to_string(f.rank) +
+                " out of range for " + std::to_string(nprocs) +
+                " processes");
+    if (f.kind == RankFaultKind::kStall) {
+      require(!f.duration.is_negative(),
+              "RankFaultPlan: negative stall duration");
+    }
+    if (f.kind == RankFaultKind::kDropSends) {
+      require(f.probability > 0.0 && f.probability <= 1.0,
+              "RankFaultPlan: drop probability must be in (0, 1]");
+    }
+  }
+}
+
+}  // namespace ats::mpi

@@ -1,0 +1,75 @@
+// Seeded rank-fault injection for the simulated MPI runtime.
+//
+// PR 2 injected faults into *traces*; this module injects them into the
+// *runtime* itself: a RankFaultPlan attached to MpiRunOptions makes chosen
+// ranks crash at a virtual time, stall for a duration, or silently drop
+// point-to-point sends.  The scenarios a performance tool must survive —
+// crashed ranks, hung peers, lost messages — become reproducible programs
+// with known outcomes, extending the paper's negative-test idea (§2) from
+// "no property" to "known pathology".  Consequences are modelled, not
+// faked: a crashed rank aborts the run with MpiError, a stalled rank makes
+// its peers genuinely wait (late-sender at the runtime level), a dropped
+// send leaves its receiver blocked until the engine reports DeadlockError.
+// Supervision and classification of these outcomes: src/runner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/vtime.hpp"
+
+namespace ats::mpi {
+
+enum class RankFaultKind : std::uint8_t {
+  kCrash,      ///< the rank throws MpiError when its clock reaches `at`
+  kStall,      ///< the rank silently advances `duration` once at `at`
+  kDropSends,  ///< p2p sends from the rank vanish in the network from `at`
+};
+
+const char* to_string(RankFaultKind k);
+
+struct RankFault {
+  int rank = 0;
+  RankFaultKind kind = RankFaultKind::kCrash;
+  /// Trigger time: crash/stall fire at the first scheduling point at or
+  /// after `at`; drop-sends applies to sends issued at or after `at`.
+  VTime at = VTime::zero();
+  /// Stall length (kStall only).
+  VDur duration = VDur::zero();
+  /// Per-message drop probability in (0, 1] (kDropSends only).
+  double probability = 1.0;
+};
+
+/// What the armed faults actually did during a run.
+struct RankFaultReport {
+  std::size_t crashes = 0;
+  std::size_t stalls = 0;
+  std::size_t sends_dropped = 0;
+
+  std::size_t total() const { return crashes + stalls + sends_dropped; }
+  /// One line per non-zero counter ("crashes: 1\n...").
+  std::string str() const;
+};
+
+/// A deterministic schedule of rank faults.  The same plan (including
+/// `seed`, which drives probabilistic send drops) against the same program
+/// produces the same faults and the same trace.
+struct RankFaultPlan {
+  std::uint64_t seed = 0x4641554c;  // "FAUL"
+  std::vector<RankFault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  // Builder helpers (chainable).
+  RankFaultPlan& crash(int rank, VTime at);
+  RankFaultPlan& stall(int rank, VTime at, VDur duration);
+  RankFaultPlan& drop_sends(int rank, VTime from = VTime::zero(),
+                            double probability = 1.0);
+
+  /// Throws UsageError when a fault names a rank outside [0, nprocs) or
+  /// carries an out-of-range probability / negative duration.
+  void validate(int nprocs) const;
+};
+
+}  // namespace ats::mpi

@@ -98,6 +98,14 @@ void Proc::send_impl(const void* data, int count, Datatype type, int dest,
   tr->send(ctx_.id(), ctx_.now(), comm.member(dest), tag, comm.trace_id(),
            bytes);
 
+  // Injected network fault: the traced send vanishes in flight.  The
+  // sender's completion is modelled eagerly (the payload left its buffer);
+  // the receiver simply never sees the message.
+  if (world_->fault_drop_send(world_rank_, ctx_.now())) {
+    tr->exit(ctx_.id(), ctx_.now(), reg);
+    return;
+  }
+
   const bool eager =
       !force_sync && bytes <= static_cast<std::int64_t>(cm.eager_threshold);
   const Status st_out{me, tag, bytes, count};
@@ -191,6 +199,16 @@ Request Proc::isend_impl(const void* data, int count, Datatype type,
   auto st = std::make_shared<RequestState>();
   const Status st_out{me, tag, bytes, count};
   const bool eager = bytes <= static_cast<std::int64_t>(cm.eager_threshold);
+
+  // Injected network fault: see send_impl.  The request completes locally;
+  // the message is lost.
+  if (world_->fault_drop_send(world_rank_, ctx_.now())) {
+    st->done = true;
+    st->complete_at = ctx_.now();
+    st->status = st_out;
+    tr->exit(ctx_.id(), ctx_.now(), reg);
+    return Request(st);
+  }
 
   if (eager) {
     const VTime avail = ctx_.now() + cm.p2p_latency + cm.transfer_time(bytes);

@@ -89,6 +89,74 @@ Comm& World::create_comm(std::vector<simt::LocationId> members,
   return comms_.back();
 }
 
+// ------------------------------------------------------------ rank faults
+
+void World::arm_faults(const RankFaultPlan& plan) {
+  if (plan.empty()) return;
+  require(launched_, "World::arm_faults before launch()");
+  plan.validate(nprocs_);
+  fault_state_.resize(static_cast<std::size_t>(nprocs_));
+  for (const RankFault& f : plan.faults) {
+    RankFaultState& st = fault_state_[static_cast<std::size_t>(f.rank)];
+    switch (f.kind) {
+      case RankFaultKind::kCrash:
+        st.crash_pending = true;
+        st.crash_at = f.at;
+        break;
+      case RankFaultKind::kStall:
+        st.stall_pending = true;
+        st.stall_at = f.at;
+        st.stall_for = f.duration;
+        break;
+      case RankFaultKind::kDropSends:
+        st.drop_sends = true;
+        st.drop_from = f.at;
+        st.drop_probability = f.probability;
+        st.drop_rng = std::make_unique<Rng>(
+            plan.seed, static_cast<std::uint64_t>(f.rank));
+        break;
+    }
+  }
+  // Crash/stall trigger at scheduling points; install a resume hook on each
+  // affected rank.  Drop-sends needs no hook — the p2p layer asks.
+  for (int r = 0; r < nprocs_; ++r) {
+    const RankFaultState& st = fault_state_[static_cast<std::size_t>(r)];
+    if (!st.crash_pending && !st.stall_pending) continue;
+    engine_.set_resume_hook(
+        world_comm_->member(r),
+        [this, r](simt::Context& ctx) { fault_tick(r, ctx); });
+  }
+}
+
+void World::fault_tick(int rank, simt::Context& ctx) {
+  RankFaultState& st = fault_state_[static_cast<std::size_t>(rank)];
+  // Stall before crash, so a plan that stalls at t1 and crashes at t2 > t1
+  // applies both in order.
+  if (st.stall_pending && ctx.now() >= st.stall_at) {
+    st.stall_pending = false;
+    ++fault_report_.stalls;
+    ctx.advance(st.stall_for);
+  }
+  if (st.crash_pending && ctx.now() >= st.crash_at) {
+    st.crash_pending = false;
+    ++fault_report_.crashes;
+    throw MpiError("injected fault: rank " + std::to_string(rank) +
+                   " crashed at " + ctx.now().str());
+  }
+}
+
+bool World::fault_drop_send(int world_rank, VTime now) {
+  if (fault_state_.empty()) return false;
+  RankFaultState& st = fault_state_[static_cast<std::size_t>(world_rank)];
+  if (!st.drop_sends || now < st.drop_from) return false;
+  if (st.drop_probability < 1.0 &&
+      st.drop_rng->next_double() >= st.drop_probability) {
+    return false;
+  }
+  ++fault_report_.sends_dropped;
+  return true;
+}
+
 // ------------------------------------------------------------------- Proc
 
 Proc::Proc(simt::Context& ctx, World* world, int world_rank)
@@ -140,9 +208,11 @@ MpiRunResult run_mpi(const MpiRunOptions& options,
   simt::Engine engine(options.engine);
   World world(engine, options.nprocs, options.cost, &result.trace);
   world.launch(body);
+  world.arm_faults(options.faults);
   engine.run();
   result.stats = engine.stats();
   result.makespan = engine.horizon();
+  result.fault_report = world.fault_report();
   return result;
 }
 

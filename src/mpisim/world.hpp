@@ -25,6 +25,7 @@
 #include "mpisim/comm.hpp"
 #include "mpisim/costmodel.hpp"
 #include "mpisim/datatype.hpp"
+#include "mpisim/faultplan.hpp"
 #include "mpisim/layout.hpp"
 #include "mpisim/request.hpp"
 #include "simt/engine.hpp"
@@ -60,8 +61,33 @@ class World {
   /// rank) and registers it with the trace.
   Comm& create_comm(std::vector<simt::LocationId> members, std::string name);
 
+  /// Arms a rank-fault plan: installs crash/stall resume hooks on the
+  /// affected rank locations and records drop-send schedules consulted by
+  /// the p2p layer.  Call after launch(), before Engine::run().
+  void arm_faults(const RankFaultPlan& plan);
+  const RankFaultReport& fault_report() const { return fault_report_; }
+
  private:
   friend class Proc;
+
+  /// Crash/stall supervision, invoked on a faulty rank's thread each time
+  /// it resumes with the token (Engine resume hook).
+  void fault_tick(int rank, simt::Context& ctx);
+  /// True iff a p2p message sent by `world_rank` at `now` must vanish.
+  /// Serialised by the engine token, like all world state.
+  bool fault_drop_send(int world_rank, VTime now);
+
+  struct RankFaultState {
+    bool crash_pending = false;
+    VTime crash_at;
+    bool stall_pending = false;
+    VTime stall_at;
+    VDur stall_for;
+    bool drop_sends = false;
+    VTime drop_from;
+    double drop_probability = 1.0;
+    std::unique_ptr<Rng> drop_rng;  // seeded per rank from the plan seed
+  };
 
   simt::Engine& engine_;
   int nprocs_;
@@ -70,6 +96,8 @@ class World {
   std::deque<Comm> comms_;  // stable addresses
   Comm* world_comm_ = nullptr;
   bool launched_ = false;
+  std::vector<RankFaultState> fault_state_;  // empty when no plan armed
+  RankFaultReport fault_report_;
 };
 
 /// Per-rank MPI handle, constructed by World::launch around the user body.
@@ -206,6 +234,8 @@ struct MpiRunOptions {
   simt::EngineOptions engine{};
   /// When false, the trace records nothing (overhead measurements).
   bool trace_enabled = true;
+  /// Seeded rank faults (crash / stall / drop sends); empty = clean run.
+  RankFaultPlan faults{};
 };
 
 struct MpiRunResult {
@@ -213,6 +243,8 @@ struct MpiRunResult {
   simt::EngineStats stats;
   /// Latest clock over all ranks at completion (simulated makespan).
   VTime makespan;
+  /// What the armed rank faults actually did (all zero on clean runs).
+  RankFaultReport fault_report;
 };
 
 /// Creates an engine + world, runs `body` on every rank, returns the trace.

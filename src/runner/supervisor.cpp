@@ -1,0 +1,226 @@
+#include "runner/supervisor.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/parallel.hpp"
+#include "common/strutil.hpp"
+
+namespace ats::runner {
+
+namespace {
+
+using gen::ExperimentPlan;
+using gen::ExperimentRow;
+using gen::PropertyDef;
+using gen::RunOutcome;
+
+/// Journal notes are free-form error text; flatten the separators the
+/// journal itself uses.
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+bool parse_outcome(const std::string& s, RunOutcome* out) {
+  for (std::size_t i = 0; i < gen::kRunOutcomeCount; ++i) {
+    const auto o = static_cast<RunOutcome>(i);
+    if (s == gen::to_string(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One journal line per completed cell, keyed by the plan fingerprint so a
+/// stale journal never pollutes a different sweep.  All numeric fields are
+/// exact integers (virtual nanoseconds); `fraction` is re-derived on load
+/// the same way the analyzer derives it, keeping resumed rows
+/// bit-identical to freshly computed ones.
+std::string journal_line(std::uint64_t fp, std::size_t index,
+                         const ExperimentRow& r) {
+  std::ostringstream os;
+  os << std::hex << fp << std::dec << '\t' << index << '\t'
+     << sanitize(r.value) << '\t' << r.severity.ns() << '\t'
+     << (r.detected ? 1 : 0) << '\t' << sanitize(r.dominant) << '\t'
+     << r.total_time.ns() << '\t' << gen::to_string(r.outcome) << '\t'
+     << r.attempts << '\t' << sanitize(r.note);
+  return os.str();
+}
+
+bool parse_journal_line(const std::string& line, std::uint64_t fp,
+                        std::size_t* index, ExperimentRow* row) {
+  const std::vector<std::string> f = split(line, '\t');
+  if (f.size() != 10) return false;
+  try {
+    if (std::stoull(f[0], nullptr, 16) != fp) return false;
+    *index = std::stoull(f[1]);
+    ExperimentRow r;
+    r.value = f[2];
+    r.severity = VDur::nanos(std::stoll(f[3]));
+    r.detected = f[4] == "1";
+    r.dominant = f[5];
+    r.total_time = VDur::nanos(std::stoll(f[6]));
+    if (!parse_outcome(f[7], &r.outcome)) return false;
+    r.attempts = std::stoi(f[8]);
+    r.note = f[9];
+    r.fraction = r.total_time > VDur::zero() ? r.severity / r.total_time : 0.0;
+    *row = std::move(r);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void hash_bytes(std::uint64_t* h, std::string_view bytes) {
+  for (const char c : bytes) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= 0x100000001b3ULL;
+  }
+  *h ^= 0xff;  // field separator, so {"ab",""} != {"a","b"}
+  *h *= 0x100000001b3ULL;
+}
+
+void hash_int(std::uint64_t* h, std::int64_t v) {
+  hash_bytes(h, std::to_string(v));
+}
+
+void hash_double(std::uint64_t* h, double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  hash_bytes(h, os.str());
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t SupervisedRunner::plan_fingerprint(const ExperimentPlan& plan) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hash_bytes(&h, plan.property);
+  hash_bytes(&h, plan.axis.param);
+  for (const auto& v : plan.axis.values) hash_bytes(&h, v);
+  for (const auto& k : plan.base.keys()) {
+    hash_bytes(&h, k);
+    hash_bytes(&h, plan.base.get_raw(k, ""));
+  }
+  const auto& cfg = plan.config;
+  hash_int(&h, cfg.nprocs);
+  hash_int(&h, cfg.trace_enabled ? 1 : 0);
+  hash_int(&h, static_cast<std::int64_t>(cfg.engine.seed));
+  hash_int(&h, cfg.mpi_cost.p2p_latency.ns());
+  hash_double(&h, cfg.mpi_cost.bandwidth_bytes_per_sec);
+  hash_int(&h, static_cast<std::int64_t>(cfg.mpi_cost.eager_threshold));
+  hash_int(&h, cfg.mpi_cost.send_overhead.ns());
+  hash_int(&h, cfg.mpi_cost.recv_overhead.ns());
+  hash_int(&h, cfg.mpi_cost.coll_stage.ns());
+  hash_int(&h, cfg.mpi_cost.init_cost.ns());
+  hash_int(&h, cfg.mpi_cost.finalize_cost.ns());
+  hash_int(&h, cfg.omp_cost.fork_cost.ns());
+  hash_int(&h, cfg.omp_cost.barrier_cost.ns());
+  hash_int(&h, cfg.omp_cost.sched_chunk_cost.ns());
+  hash_int(&h, cfg.omp_cost.lock_cost.ns());
+  hash_int(&h, static_cast<std::int64_t>(cfg.faults.seed));
+  for (const auto& f : cfg.faults.faults) {
+    hash_int(&h, f.rank);
+    hash_bytes(&h, mpi::to_string(f.kind));
+    hash_int(&h, f.at.ns());
+    hash_int(&h, f.duration.ns());
+    hash_double(&h, f.probability);
+  }
+  hash_double(&h, plan.analyzer.threshold);
+  for (const auto p : plan.analyzer.disabled_patterns) {
+    hash_bytes(&h, analyze::property_name(p));
+  }
+  hash_int(&h, plan.analyzer.lenient ? 1 : 0);
+  return h;
+}
+
+ExperimentRow SupervisedRunner::run_cell(const ExperimentPlan& plan,
+                                         const PropertyDef& def,
+                                         const std::string& value) const {
+  ExperimentPlan p = plan;
+  auto& eng = p.config.engine;
+  // Supervisor budgets fill in zeros only: a plan that sets its own budget
+  // keeps it.
+  if (eng.virtual_time_limit == VDur::zero()) {
+    eng.virtual_time_limit = opt_.virtual_time_limit;
+  }
+  if (eng.yield_limit == 0) eng.yield_limit = opt_.yield_limit;
+  if (eng.wall_clock_limit.count() == 0) {
+    eng.wall_clock_limit = opt_.wall_clock_limit;
+  }
+
+  const int max_attempts = std::max(1, opt_.retry.max_attempts);
+  ExperimentRow row;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (opt_.retry.perturb_seed && attempt > 1) {
+      eng.seed = plan.config.engine.seed + static_cast<std::uint64_t>(attempt - 1);
+    }
+    row = gen::run_experiment_cell(p, def, value);
+    row.attempts = attempt;
+    if (row.outcome == RunOutcome::kOk) break;
+  }
+  return row;
+}
+
+std::vector<ExperimentRow> SupervisedRunner::run_sweep(
+    const ExperimentPlan& plan) const {
+  const PropertyDef& def = gen::Registry::instance().find(plan.property);
+  require(!plan.axis.param.empty(), "runner: sweep axis has no name");
+  require(!plan.axis.values.empty(), "runner: sweep axis has no values");
+
+  const std::uint64_t fp = plan_fingerprint(plan);
+  const std::size_t n = plan.axis.values.size();
+  std::vector<ExperimentRow> rows(n);
+  std::vector<char> done(n, 0);
+
+  if (opt_.resume && !opt_.journal_path.empty()) {
+    std::ifstream in(opt_.journal_path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      std::size_t index = 0;
+      ExperimentRow row;
+      if (!parse_journal_line(line, fp, &index, &row)) continue;
+      if (index >= n || row.value != plan.axis.values[index]) continue;
+      rows[index] = std::move(row);
+      done[index] = 1;
+    }
+  }
+
+  std::ofstream journal;
+  if (!opt_.journal_path.empty()) {
+    journal.open(opt_.journal_path, std::ios::app);
+    require(journal.good(),
+            "runner: cannot open journal '" + opt_.journal_path + "'");
+  }
+  std::mutex journal_mu;
+
+  par::ThreadPool pool(plan.jobs);
+  pool.parallel_for(n, [&](std::size_t i) {
+    if (done[i]) return;
+    rows[i] = run_cell(plan, def, plan.axis.values[i]);
+    if (journal.is_open()) {
+      const std::string line = journal_line(fp, i, rows[i]);
+      std::lock_guard<std::mutex> lk(journal_mu);
+      journal << line << '\n';
+      journal.flush();
+    }
+  });
+  return rows;
+}
+
+}  // namespace ats::runner

@@ -1,0 +1,91 @@
+// Supervised experiment execution (DESIGN.md §8).
+//
+// A large parameter sweep over the ATS property functions must survive the
+// very pathologies the suite generates on purpose: deadlocks, runaway
+// loops, injected rank crashes.  The SupervisedRunner wraps every
+// experiment cell with
+//
+//   * supervision budgets (virtual time / yields / host wall clock) filled
+//     into the cell's EngineOptions so hangs terminate as HangError,
+//   * outcome classification (gen::RunOutcome) instead of sweep abortion,
+//   * a bounded retry policy with optional seed perturbation,
+//   * a crash-safe journal of completed cells, so an interrupted sweep can
+//     be resumed without re-simulating finished work.
+//
+// Clean sweeps produce exactly the rows (and therefore the CSV/table
+// bytes) that gen::run_experiment produces unsupervised.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/experiment.hpp"
+
+namespace ats::runner {
+
+struct RetryPolicy {
+  /// Total simulation attempts per cell (>= 1).  A cell whose outcome is
+  /// still non-kOk after the last attempt keeps that outcome.
+  int max_attempts = 1;
+  /// Bump the engine seed by the attempt number on each retry, so a retry
+  /// explores a different deterministic schedule instead of replaying the
+  /// identical failure.
+  bool perturb_seed = false;
+};
+
+struct SupervisorOptions {
+  RetryPolicy retry{};
+
+  // Budgets filled into each cell's EngineOptions where the plan leaves
+  // them zero (a nonzero value in the plan wins).  The defaults bound any
+  // property-function run by a wide margin: one virtual hour, ten million
+  // scheduler yields.
+  VDur virtual_time_limit = VDur::seconds(3600.0);
+  std::uint64_t yield_limit = 10'000'000;
+  /// Per-cell host wall-clock budget (cooperative; zero = none).
+  std::chrono::milliseconds wall_clock_limit{0};
+
+  /// Journal file: completed cells are appended as they finish.  Empty =
+  /// no journal.
+  std::string journal_path;
+  /// Load journaled cells (matching this plan's fingerprint) instead of
+  /// re-running them.
+  bool resume = false;
+};
+
+class SupervisedRunner {
+ public:
+  explicit SupervisedRunner(SupervisorOptions opt = {}) : opt_(std::move(opt)) {}
+
+  const SupervisorOptions& options() const { return opt_; }
+
+  /// Runs one cell under supervision: budgets applied, retries spent,
+  /// outcome classified.  `attempts` in the returned row is the number of
+  /// simulation attempts actually consumed.
+  gen::ExperimentRow run_cell(const gen::ExperimentPlan& plan,
+                              const gen::PropertyDef& def,
+                              const std::string& value) const;
+
+  /// Runs the whole sweep (parallel per plan.jobs, like
+  /// gen::run_experiment), journaling completed cells and skipping
+  /// journaled ones when resuming.  Never throws for runtime faults; rows
+  /// carry the outcome.
+  std::vector<gen::ExperimentRow> run_sweep(const gen::ExperimentPlan& plan) const;
+
+  /// Stable 64-bit fingerprint of everything that determines a sweep's
+  /// rows (property, axis, base parameters, run configuration, fault
+  /// plan).  Journal entries are keyed by it, so a journal written for a
+  /// different plan is ignored on resume.
+  static std::uint64_t plan_fingerprint(const gen::ExperimentPlan& plan);
+
+ private:
+  SupervisorOptions opt_;
+};
+
+/// FNV-1a 64-bit over a byte string (the journal/fingerprint hash).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace ats::runner

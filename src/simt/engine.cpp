@@ -47,41 +47,49 @@ void Context::advance_to(VTime t) {
 void Context::yield() {
   Engine::Location* loc =
       engine_->locations_[static_cast<std::size_t>(id_)].get();
-  std::unique_lock lk(engine_->mu_);
-  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-  if (engine_->token_ != id_) {
-    throw UsageError("Context::yield called by a location without the token");
+  {
+    std::unique_lock lk(engine_->mu_);
+    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+    if (engine_->token_ != id_) {
+      throw UsageError(
+          "Context::yield called by a location without the token");
+    }
+    ++engine_->stats_.yields;
+    loc->state = LocationState::kRunnable;
+    engine_->token_ = kNoLocation;
+    engine_->cv_.notify_all();
+    engine_->cv_.wait(
+        lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
+    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+    loc->state = LocationState::kRunning;
   }
-  ++engine_->stats_.yields;
-  loc->state = LocationState::kRunnable;
-  engine_->token_ = kNoLocation;
-  engine_->cv_.notify_all();
-  engine_->cv_.wait(
-      lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
-  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-  loc->state = LocationState::kRunning;
+  engine_->run_resume_hook(loc);
 }
 
 void Context::block(const char* reason) {
   Engine::Location* loc =
       engine_->locations_[static_cast<std::size_t>(id_)].get();
-  std::unique_lock lk(engine_->mu_);
-  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-  if (engine_->token_ != id_) {
-    throw UsageError("Context::block called by a location without the token");
+  {
+    std::unique_lock lk(engine_->mu_);
+    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+    if (engine_->token_ != id_) {
+      throw UsageError(
+          "Context::block called by a location without the token");
+    }
+    ++engine_->stats_.blocks;
+    loc->state = LocationState::kBlocked;
+    loc->block_reason = reason;
+    engine_->token_ = kNoLocation;
+    engine_->cv_.notify_all();
+    // Wait until some other location wakes us (making us runnable) *and*
+    // the scheduler hands us the token.
+    engine_->cv_.wait(
+        lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
+    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
+    loc->state = LocationState::kRunning;
+    loc->block_reason = "";
   }
-  ++engine_->stats_.blocks;
-  loc->state = LocationState::kBlocked;
-  loc->block_reason = reason;
-  engine_->token_ = kNoLocation;
-  engine_->cv_.notify_all();
-  // Wait until some other location wakes us (making us runnable) *and* the
-  // scheduler hands us the token.
-  engine_->cv_.wait(
-      lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
-  if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-  loc->state = LocationState::kRunning;
-  loc->block_reason = "";
+  engine_->run_resume_hook(loc);
 }
 
 std::vector<LocationId> Context::spawn(
@@ -160,6 +168,27 @@ LocationId Engine::add_location(std::string name, LocationBody body) {
                         VTime::zero());
 }
 
+void Engine::set_resume_hook(LocationId id, LocationBody hook) {
+  std::unique_lock lk(mu_);
+  if (started_) {
+    throw UsageError("Engine::set_resume_hook after run()");
+  }
+  locations_.at(static_cast<std::size_t>(id))->resume_hook = std::move(hook);
+}
+
+void Engine::run_resume_hook(Location* loc) {
+  // Called on the location's thread with the token held and mu_ released.
+  // The hook may advance/yield (which re-enters this function; in_hook
+  // suppresses the recursion) and may throw into the location body.
+  if (!loc->resume_hook || loc->in_hook) return;
+  loc->in_hook = true;
+  struct Reset {
+    bool* flag;
+    ~Reset() { *flag = false; }
+  } reset{&loc->in_hook};
+  loc->resume_hook(*loc->context);
+}
+
 LocationId Engine::spawn_internal(std::string name, LocationBody body,
                                   LocationId parent, VTime start) {
   // Caller holds mu_ (or the engine has not started yet).
@@ -198,6 +227,7 @@ void Engine::thread_main(Location* loc) {
     loc->state = LocationState::kRunning;
   }
   try {
+    run_resume_hook(loc);
     loc->body(*loc->context);
   } catch (ShutdownSignal) {
     // Unwound during engine shutdown; not an error.
@@ -256,6 +286,9 @@ void Engine::run() {
   started_ = true;
   std::exception_ptr first_error;
   std::string deadlock;
+  std::string hang;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t iterations = 0;
   while (true) {
     for (auto& l : locations_) {
       if (l->error) {
@@ -268,6 +301,29 @@ void Engine::run() {
     Location* next = pick_next();
     if (next == nullptr) {
       deadlock = deadlock_dump();
+      break;
+    }
+    if (options_.virtual_time_limit > VDur::zero() &&
+        next->now >= VTime::zero() + options_.virtual_time_limit) {
+      hang = state_dump("simulated hang: virtual-time budget (" +
+                        options_.virtual_time_limit.str() + ") exhausted");
+      break;
+    }
+    if (options_.yield_limit != 0 &&
+        stats_.yields >= options_.yield_limit) {
+      hang = state_dump(
+          "simulated hang: yield budget (" +
+          std::to_string(options_.yield_limit) +
+          " yields) exhausted without completing (livelock?)");
+      break;
+    }
+    if (options_.wall_clock_limit.count() > 0 &&
+        (++iterations & 0xFF) == 0 &&
+        std::chrono::steady_clock::now() - wall_start >=
+            options_.wall_clock_limit) {
+      hang = state_dump("simulated hang: wall-clock budget (" +
+                        std::to_string(options_.wall_clock_limit.count()) +
+                        " ms) exhausted");
       break;
     }
     token_ = next->id;
@@ -284,12 +340,13 @@ void Engine::run() {
   }
   if (first_error) std::rethrow_exception(first_error);
   if (!deadlock.empty()) throw DeadlockError(deadlock);
+  if (!hang.empty()) throw HangError(hang);
 }
 
-std::string Engine::deadlock_dump() const {
+std::string Engine::state_dump(const std::string& headline) const {
   // Caller holds mu_.
   std::ostringstream os;
-  os << "simulated deadlock: all unfinished locations are blocked\n";
+  os << headline << "\n";
   for (const auto& l : locations_) {
     os << "  [" << l->id << "] " << l->name << ": " << to_string(l->state)
        << " at " << l->now.str();
@@ -298,6 +355,11 @@ std::string Engine::deadlock_dump() const {
     os << "\n";
   }
   return os.str();
+}
+
+std::string Engine::deadlock_dump() const {
+  return state_dump(
+      "simulated deadlock: all unfinished locations are blocked");
 }
 
 void Engine::wake(LocationId id, VTime not_before) {

@@ -19,6 +19,7 @@
 // paper with an exact, laptop-scale equivalent (see DESIGN.md §2).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -60,6 +61,23 @@ struct EngineOptions {
   std::uint64_t seed = 0x415453;  // "ATS"
   /// Hard cap on locations, as a runaway-fork backstop.
   std::size_t max_locations = 4096;
+
+  // --- supervision budgets (all zero = unlimited) -----------------------
+  // Exceeding any budget raises HangError from run() with the same
+  // per-location state dump that DeadlockError carries, so runaway loops
+  // and livelocks terminate deterministically instead of spinning.
+
+  /// Virtual-time horizon: the scheduler refuses to resume a location whose
+  /// clock has reached this limit.  Catches infinite compute loops (clock
+  /// grows without bound).
+  VDur virtual_time_limit = VDur::zero();
+  /// Total yield budget over all locations.  Catches livelocks: locations
+  /// that keep yielding without ever advancing virtual time.
+  std::uint64_t yield_limit = 0;
+  /// Host wall-clock budget for run(), checked periodically by the
+  /// scheduler.  A cooperative backstop against host-level hangs; it can
+  /// only trigger while locations still yield.
+  std::chrono::milliseconds wall_clock_limit{0};
 };
 
 struct EngineStats {
@@ -138,7 +156,18 @@ class Engine {
   /// assigned densely in spawn order.
   LocationId add_location(std::string name, LocationBody body);
 
+  /// Installs a hook invoked on `id`'s thread each time the location
+  /// obtains the token (at start and after every yield/block), before
+  /// control returns to the body.  Fault injection uses this to crash or
+  /// stall a location when its clock reaches a trigger time.  The hook may
+  /// call Context methods (it holds the token) and may throw; a hook that
+  /// advances or yields does not re-enter itself.  Install before run().
+  void set_resume_hook(LocationId id, LocationBody hook);
+
   /// Runs the simulation to completion.  May be called exactly once.
+  /// Throws DeadlockError when all unfinished locations are blocked and
+  /// HangError when a supervision budget (EngineOptions) is exhausted; both
+  /// paths join every location thread before throwing.
   void run();
 
   // --- introspection (valid after run(), or for finished locations) ---
@@ -179,6 +208,10 @@ class Engine {
     std::unique_ptr<Rng> rng;
     // join bookkeeping: set while blocked in Context::join()
     std::vector<LocationId> joining;
+    // supervision hook (set_resume_hook); in_hook guards re-entry when the
+    // hook itself advances or yields.
+    LocationBody resume_hook;
+    bool in_hook = false;
   };
 
   LocationId spawn_internal(std::string name, LocationBody body,
@@ -188,9 +221,10 @@ class Engine {
   void wait_for_token(Location* loc);        // called on location thread
   Location* pick_next();                     // scheduler: min (time, id)
   void resume(Location* loc);                // scheduler side
+  /// Per-location state dump under `headline` (shared by deadlock/hang).
+  std::string state_dump(const std::string& headline) const;
   std::string deadlock_dump() const;
-  void poison_all_blocked();
-  void check_running(const char* api) const;
+  void run_resume_hook(Location* loc);       // called on location thread
   void maybe_wake_joiners(Location* finished);
 
   // Thrown through blocked locations to unwind them during shutdown.

@@ -1,0 +1,212 @@
+// Supervision tests for the simt engine: virtual-time / yield / wall-clock
+// budgets raising HangError, golden deadlock and hang dumps, and engine
+// destruction safety around failed or never-started runs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "common/error.hpp"
+#include "simt/engine.hpp"
+
+namespace ats::simt {
+namespace {
+
+LocationBody spin_forever(VDur step) {
+  return [step](Context& c) {
+    for (;;) c.advance(step);
+  };
+}
+
+TEST(Supervision, VirtualTimeBudgetRaisesHang) {
+  EngineOptions opt;
+  opt.virtual_time_limit = VDur::millis(10);
+  Engine eng(opt);
+  eng.add_location("spinner", spin_forever(VDur::millis(1)));
+  try {
+    eng.run();
+    FAIL() << "expected HangError";
+  } catch (const HangError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("virtual-time budget (10.00 ms) exhausted"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Supervision, YieldBudgetRaisesHangOnLivelock) {
+  EngineOptions opt;
+  opt.yield_limit = 1000;
+  Engine eng(opt);
+  eng.add_location("poller", [](Context& c) {
+    for (;;) c.yield();  // virtual time never advances
+  });
+  try {
+    eng.run();
+    FAIL() << "expected HangError";
+  } catch (const HangError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("yield budget (1000 yields) exhausted"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("livelock"), std::string::npos) << msg;
+  }
+}
+
+TEST(Supervision, WallClockBudgetRaisesHang) {
+  EngineOptions opt;
+  opt.wall_clock_limit = std::chrono::milliseconds(20);
+  Engine eng(opt);
+  eng.add_location("poller", [](Context& c) {
+    for (;;) c.yield();
+  });
+  try {
+    eng.run();
+    FAIL() << "expected HangError";
+  } catch (const HangError& e) {
+    EXPECT_NE(std::string(e.what()).find("wall-clock budget (20 ms) exhausted"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Supervision, BudgetsDoNotAffectCompletingRuns) {
+  EngineOptions opt;
+  opt.virtual_time_limit = VDur::seconds(1.0);
+  opt.yield_limit = 1'000'000;
+  opt.wall_clock_limit = std::chrono::milliseconds(60'000);
+  Engine eng(opt);
+  const LocationId id = eng.add_location("worker", [](Context& c) {
+    for (int i = 0; i < 100; ++i) c.advance(VDur::micros(10));
+  });
+  EXPECT_NO_THROW(eng.run());
+  EXPECT_EQ(eng.end_time_of(id), VTime::zero() + VDur::millis(1));
+}
+
+TEST(Supervision, HangDumpListsEveryLocationState) {
+  // Golden-message test: the HangError payload carries the same
+  // per-location dump as a deadlock, including names, states, clocks and
+  // block reasons.
+  EngineOptions opt;
+  opt.virtual_time_limit = VDur::millis(5);
+  Engine eng(opt);
+  eng.add_location("spinner", spin_forever(VDur::millis(1)));
+  eng.add_location("waiter", [](Context& c) { c.block("waiting for godot"); });
+  try {
+    eng.run();
+    FAIL() << "expected HangError";
+  } catch (const HangError& e) {
+    EXPECT_STREQ(e.what(),
+                 "simulated hang: virtual-time budget (5.00 ms) exhausted\n"
+                 "  [0] spinner: runnable at 5.00 ms\n"
+                 "  [1] waiter: blocked at 0 ns (waiting for godot)\n");
+  }
+}
+
+TEST(Supervision, DeadlockDumpGolden) {
+  Engine eng;
+  eng.add_location("ping", [](Context& c) {
+    c.advance(VDur::millis(1));
+    c.block("recv from pong");
+  });
+  eng.add_location("pong", [](Context& c) {
+    c.advance(VDur::millis(2));
+    c.block("recv from ping");
+  });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_STREQ(e.what(),
+                 "simulated deadlock: all unfinished locations are blocked\n"
+                 "  [0] ping: blocked at 1.00 ms (recv from pong)\n"
+                 "  [1] pong: blocked at 2.00 ms (recv from ping)\n");
+  }
+}
+
+TEST(Supervision, ResumeHookRunsBeforeBodyAndAfterYields) {
+  Engine eng;
+  int hook_calls = 0;
+  const LocationId id = eng.add_location("hooked", [](Context& c) {
+    c.advance(VDur::millis(1));  // yield #1
+    c.advance(VDur::millis(1));  // yield #2
+  });
+  eng.set_resume_hook(id, [&](Context&) { ++hook_calls; });
+  eng.run();
+  // Once at startup + once after each of the two yields.
+  EXPECT_EQ(hook_calls, 3);
+}
+
+TEST(Supervision, ResumeHookDoesNotReenterItself) {
+  Engine eng;
+  int hook_calls = 0;
+  const LocationId id = eng.add_location("hooked", [](Context& c) {
+    c.advance(VDur::millis(1));
+  });
+  // A hook that advances would resume itself recursively without the
+  // re-entrancy guard.
+  eng.set_resume_hook(id, [&](Context& c) {
+    ++hook_calls;
+    c.advance(VDur::micros(10));
+  });
+  eng.run();
+  EXPECT_EQ(hook_calls, 2);  // startup + after the body's single yield
+}
+
+TEST(Supervision, SetResumeHookAfterRunThrows) {
+  Engine eng;
+  const LocationId id = eng.add_location("solo", [](Context&) {});
+  eng.run();
+  EXPECT_THROW(eng.set_resume_hook(id, [](Context&) {}), UsageError);
+}
+
+// --- destructor safety ----------------------------------------------------
+
+TEST(Supervision, EngineDestructsCleanlyWithoutRun) {
+  // Locations added but run() never called: the destructor must not touch
+  // unstarted threads.
+  for (int i = 0; i < 4; ++i) {
+    Engine eng;
+    eng.add_location("never runs", spin_forever(VDur::millis(1)));
+    eng.add_location("never runs either", [](Context& c) { c.block("x"); });
+  }
+}
+
+TEST(Supervision, EngineDestructsCleanlyAfterDeadlock) {
+  // All location threads must already be joined when DeadlockError leaves
+  // run(), so dropping the engine mid-failure is safe.
+  for (int i = 0; i < 4; ++i) {
+    Engine eng;
+    eng.add_location("a", [](Context& c) { c.block("recv"); });
+    eng.add_location("b", [](Context& c) { c.block("recv"); });
+    EXPECT_THROW(eng.run(), DeadlockError);
+  }
+}
+
+TEST(Supervision, EngineDestructsCleanlyAfterHang) {
+  for (int i = 0; i < 4; ++i) {
+    EngineOptions opt;
+    opt.yield_limit = 100;
+    Engine eng(opt);
+    eng.add_location("poller", [](Context& c) {
+      for (;;) c.yield();
+    });
+    eng.add_location("blocked", [](Context& c) { c.block("forever"); });
+    EXPECT_THROW(eng.run(), HangError);
+  }
+}
+
+TEST(Supervision, EngineDestructsCleanlyAfterBodyError) {
+  for (int i = 0; i < 4; ++i) {
+    Engine eng;
+    eng.add_location("thrower", [](Context& c) {
+      c.advance(VDur::millis(1));
+      throw MpiError("synthetic failure");
+    });
+    eng.add_location("bystander", [](Context& c) { c.block("recv"); });
+    EXPECT_THROW(eng.run(), MpiError);
+  }
+}
+
+}  // namespace
+}  // namespace ats::simt

@@ -90,6 +90,77 @@ TEST(Experiment, TableFormat) {
   EXPECT_NE(table.find("yes"), std::string::npos);
 }
 
+TEST(Experiment, FailedCellsDegradeToOutcomeRows) {
+  // A crash injected into every cell must not abort the sweep: rows come
+  // back classified, with zero severity and the error note attached.
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.axis = {"extrawork", {"0.02", "0.04"}};
+  plan.config.nprocs = 4;
+  plan.config.faults.crash(0, VTime::zero());
+  const auto rows = run_experiment(plan);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.outcome, RunOutcome::kMpiError);
+    EXPECT_EQ(r.severity, VDur::zero());
+    EXPECT_FALSE(r.detected);
+    EXPECT_EQ(r.dominant, "-");
+    EXPECT_NE(r.note.find("injected fault"), std::string::npos);
+  }
+  EXPECT_TRUE(any_cell_failed(rows));
+}
+
+TEST(Experiment, OutcomeColumnAppearsOnlyWhenSomeCellFailed) {
+  ExperimentPlan plan;
+  plan.property = "late_sender";
+  plan.axis = {"extrawork", {"0.02"}};
+  plan.config.nprocs = 4;
+
+  const auto clean = run_experiment(plan);
+  EXPECT_FALSE(any_cell_failed(clean));
+  const std::string clean_csv = experiment_csv(plan, clean);
+  EXPECT_EQ(split(clean_csv, '\n')[0],
+            "extrawork,severity_sec,fraction,detected,dominant,total_sec");
+  EXPECT_EQ(experiment_csv(plan, clean).find("outcome"), std::string::npos);
+  EXPECT_EQ(experiment_table(plan, clean).find("outcome"),
+            std::string::npos);
+
+  plan.config.faults.crash(0, VTime::zero());
+  const auto failed = run_experiment(plan);
+  const std::string csv = experiment_csv(plan, failed);
+  const auto lines = split(csv, '\n');
+  EXPECT_EQ(lines[0],
+            "extrawork,severity_sec,fraction,detected,dominant,total_sec,"
+            "outcome,attempts");
+  EXPECT_NE(lines[1].find(",mpi_error,1"), std::string::npos) << lines[1];
+  const std::string table = experiment_table(plan, failed);
+  EXPECT_NE(table.find("outcome"), std::string::npos);
+  EXPECT_NE(table.find("mpi_error"), std::string::npos);
+}
+
+TEST(Experiment, PathologicalEntriesClassifiedNotThrown) {
+  ExperimentPlan plan;
+  plan.property = "pathological_deadlock";
+  plan.axis = {"tag", {"0"}};
+  plan.config.nprocs = 2;
+  const auto rows = run_experiment(plan);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].outcome, RunOutcome::kDeadlock);
+  EXPECT_NE(rows[0].note.find("simulated deadlock"), std::string::npos);
+}
+
+TEST(Experiment, RegistrySeparatesSafeFromPathologicalNames) {
+  const auto& reg = Registry::instance();
+  for (const auto& name : reg.names()) {
+    EXPECT_EQ(reg.find(name).expected_outcome, RunOutcome::kOk) << name;
+  }
+  const auto patho = reg.pathological_names();
+  EXPECT_GE(patho.size(), 3u);
+  for (const auto& name : patho) {
+    EXPECT_NE(reg.find(name).expected_outcome, RunOutcome::kOk) << name;
+  }
+}
+
 TEST(Experiment, ErrorsOnBadPlans) {
   ExperimentPlan plan;
   plan.property = "late_sender";
