@@ -1,19 +1,11 @@
 #include "common/parallel.hpp"
 
-#include <cstdlib>
-#include <string>
+#include "common/env.hpp"
 
 namespace ats::par {
 
 int default_jobs() {
-  if (const char* env = std::getenv("ATS_JOBS")) {
-    try {
-      const int n = std::stoi(std::string(env));
-      if (n > 0) return n;
-    } catch (...) {
-      // fall through to hardware_concurrency
-    }
-  }
+  if (const auto n = env_positive_int("ATS_JOBS")) return *n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -45,7 +45,10 @@ struct SupervisorOptions {
   // scheduler yields.
   VDur virtual_time_limit = VDur::seconds(3600.0);
   std::uint64_t yield_limit = 10'000'000;
-  /// Per-cell host wall-clock budget (cooperative; zero = none).
+  /// Per-cell host wall-clock budget (zero = none).  Enforced by the
+  /// engine's scheduler loop itself between handoffs — no watchdog
+  /// thread on either execution backend — so it can only trip while
+  /// locations still yield.
   std::chrono::milliseconds wall_clock_limit{0};
 
   /// Journal file: completed cells are appended as they finish.  Empty =

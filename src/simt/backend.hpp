@@ -1,0 +1,155 @@
+// Internal: the engine's execution backends (engine.hpp, DESIGN.md §9).
+//
+// All scheduling *decisions* — who runs next, budgets, stats, state
+// transitions, failure dumps — live in Engine and are shared.  A backend
+// implements only the mechanics: how control transfers between the
+// scheduler and a location, and how parked locations are unwound at
+// shutdown.  That split is what makes the two backends produce
+// bit-identical simulations.
+//
+// Concurrency contract (what makes the thread backend race-free without
+// guarding engine state):
+//  * The scheduler touches engine state only while no location holds the
+//    token (outside resume()); a location touches it only while it does
+//    (between suspend() returns).  Execution never overlaps.
+//  * Each handoff passes through the thread backend's mutex, which
+//    publishes one side's writes to the other (release/acquire).  The
+//    fiber backend runs everything on one thread and needs neither.
+//  * During poisoned shutdown, locations unwind concurrently on the
+//    thread backend; they must not touch engine state on that path
+//    (location_main checks `poisoned_`, which is atomic for exactly this
+//    reason).  Finish bookkeeping for unwound locations happens in
+//    Engine::shutdown() after the backend has quiesced.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simt/engine.hpp"
+#include "simt/fiber.hpp"
+
+namespace ats::simt::detail {
+
+/// Thrown through parked locations to unwind their stacks during poisoned
+/// shutdown; location_main absorbs it.  Never escapes the engine.
+struct ShutdownSignal {};
+
+/// Per-location backend resource: the OS thread or the fiber + stack.
+/// Owned by the Location, created by ExecutionBackend::adopt.
+struct ExecSlot {
+  virtual ~ExecSlot() = default;
+};
+
+struct Location {
+  LocationId id = kNoLocation;
+  LocationId parent = kNoLocation;
+  std::string name;
+  LocationBody body;
+  LocationState state = LocationState::kRunnable;
+  const char* block_reason = "";
+  VTime now;
+  std::exception_ptr error;
+  std::unique_ptr<Context> context;
+  std::unique_ptr<Rng> rng;
+  // join bookkeeping: set while blocked in Context::join()
+  std::vector<LocationId> joining;
+  // supervision hook (set_resume_hook); in_hook guards re-entry when the
+  // hook itself advances or yields.
+  LocationBody resume_hook;
+  bool in_hook = false;
+  std::unique_ptr<ExecSlot> exec;
+};
+
+class ExecutionBackend {
+ public:
+  explicit ExecutionBackend(Engine* engine) : engine_(engine) {}
+  virtual ~ExecutionBackend() = default;
+
+  ExecutionBackend(const ExecutionBackend&) = delete;
+  ExecutionBackend& operator=(const ExecutionBackend&) = delete;
+
+  /// Creates the execution slot for a freshly spawned location.  Called
+  /// from the main thread before run(), or from the token-holding
+  /// location for Context::spawn.
+  virtual void adopt(Location* loc) = 0;
+
+  /// Scheduler side: transfers control to `loc` and returns once `loc`
+  /// suspends (yield/block) or finishes.
+  virtual void resume(Location* loc) = 0;
+
+  /// Location side: gives the token back to the scheduler; returns when
+  /// the scheduler resumes this location again.  Throws ShutdownSignal
+  /// instead of parking (or on re-resume) once the engine is poisoned.
+  virtual void suspend(Location* loc) = 0;
+
+  /// Unwinds every unfinished location after the engine is poisoned and
+  /// releases all execution resources (joins threads / leaves fiber
+  /// stacks frame-free).  The scheduler's thread; no location runs after
+  /// this returns.
+  virtual void shutdown() = 0;
+
+ protected:
+  // Friendship with Engine is on this base class only; these accessors
+  // hand the pieces backends need to the derived classes.
+  bool poisoned() const {
+    return engine_->poisoned_.load(std::memory_order_acquire);
+  }
+  void location_main(Location* loc) { engine_->location_main(loc); }
+  const std::vector<std::unique_ptr<Location>>& locations() const {
+    return engine_->locations_;
+  }
+
+  Engine* engine_;
+};
+
+#if ATS_SIMT_HAS_FIBERS
+/// Stackful-fiber backend: all locations are fibers of the scheduler's
+/// thread; a handoff is one userspace register switch.
+class FiberBackend final : public ExecutionBackend {
+ public:
+  FiberBackend(Engine* engine, std::size_t stack_bytes)
+      : ExecutionBackend(engine), stack_bytes_(stack_bytes) {}
+
+  void adopt(Location* loc) override;
+  void resume(Location* loc) override;
+  void suspend(Location* loc) override;
+  void shutdown() override;
+
+ private:
+  struct Slot;
+  std::size_t stack_bytes_;
+};
+#endif
+
+/// Thread-per-location backend: a handoff is a directed notify_one on the
+/// target's own condition variable (no thundering herd), with the
+/// scheduler parked on its own.  Keeps the engine usable under
+/// ThreadSanitizer, which cannot follow fiber switches.
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadBackend(Engine* engine) : ExecutionBackend(engine) {}
+
+  void adopt(Location* loc) override;
+  void resume(Location* loc) override;
+  void suspend(Location* loc) override;
+  void shutdown() override;
+
+ private:
+  struct Slot;
+  void thread_entry(Location* loc);
+
+  std::mutex mu_;                 // guards granted_/live_ handoff protocol
+  std::condition_variable sched_cv_;  // scheduler parks here
+  LocationId granted_ = kNoLocation;  // location allowed to run
+  std::size_t live_ = 0;              // location threads not yet exited
+};
+
+std::unique_ptr<ExecutionBackend> make_backend(EngineBackend kind,
+                                               Engine* engine,
+                                               const EngineOptions& options);
+
+}  // namespace ats::simt::detail

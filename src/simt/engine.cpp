@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/env.hpp"
+#include "simt/backend.hpp"
+
 namespace ats::simt {
 
 const char* to_string(LocationState s) {
@@ -15,28 +18,59 @@ const char* to_string(LocationState s) {
   return "?";
 }
 
+const char* to_string(EngineBackend b) {
+  switch (b) {
+    case EngineBackend::kAuto: return "auto";
+    case EngineBackend::kFiber: return "fiber";
+    case EngineBackend::kThread: return "thread";
+  }
+  return "?";
+}
+
+EngineBackend resolve_backend(EngineBackend requested) {
+  if (requested == EngineBackend::kAuto) {
+    if (const auto env = env_value("ATS_ENGINE_BACKEND")) {
+      if (*env == "fiber") {
+        requested = EngineBackend::kFiber;
+      } else if (*env == "thread") {
+        requested = EngineBackend::kThread;
+      } else {
+        throw UsageError("ATS_ENGINE_BACKEND: unknown backend '" + *env +
+                         "' (expected fiber or thread)");
+      }
+    }
+    if (requested == EngineBackend::kAuto) requested = EngineBackend::kFiber;
+  }
+#if !ATS_SIMT_HAS_FIBERS
+  // ThreadSanitizer cannot follow fiber switches; fibers are compiled out.
+  if (requested == EngineBackend::kFiber) requested = EngineBackend::kThread;
+#endif
+  return requested;
+}
+
+namespace {
+// Min-heap order on (clock, id): `after(a, b)` is the "less" predicate of
+// a std:: max-heap, so the heap top is the minimum element.
+bool ready_after(const VTime& at, LocationId aid, const VTime& bt,
+                 LocationId bid) {
+  if (at != bt) return bt < at;
+  return bid < aid;
+}
+}  // namespace
+
 // ---------------------------------------------------------------- Context
 
-const std::string& Context::name() const {
-  return engine_->locations_[static_cast<std::size_t>(id_)]->name;
-}
+const std::string& Context::name() const { return engine_->loc(id_)->name; }
 
-VTime Context::now() const {
-  return engine_->locations_[static_cast<std::size_t>(id_)]->now;
-}
+VTime Context::now() const { return engine_->loc(id_)->now; }
 
-Rng& Context::rng() {
-  return *engine_->locations_[static_cast<std::size_t>(id_)]->rng;
-}
+Rng& Context::rng() { return *engine_->loc(id_)->rng; }
 
 void Context::advance(VDur d) {
   if (d.is_negative()) {
     throw UsageError("Context::advance: negative duration");
   }
-  {
-    std::unique_lock lk(engine_->mu_);
-    engine_->locations_[static_cast<std::size_t>(id_)]->now += d;
-  }
+  engine_->loc(id_)->now += d;
   yield();
 }
 
@@ -45,63 +79,41 @@ void Context::advance_to(VTime t) {
 }
 
 void Context::yield() {
-  Engine::Location* loc =
-      engine_->locations_[static_cast<std::size_t>(id_)].get();
-  {
-    std::unique_lock lk(engine_->mu_);
-    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-    if (engine_->token_ != id_) {
-      throw UsageError(
-          "Context::yield called by a location without the token");
-    }
-    ++engine_->stats_.yields;
-    loc->state = LocationState::kRunnable;
-    engine_->token_ = kNoLocation;
-    engine_->cv_.notify_all();
-    engine_->cv_.wait(
-        lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
-    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-    loc->state = LocationState::kRunning;
+  detail::Location* l = engine_->loc(id_);
+  if (engine_->poisoned_.load(std::memory_order_acquire)) {
+    throw detail::ShutdownSignal{};
   }
-  engine_->run_resume_hook(loc);
+  engine_->check_running(id_, "Context::yield");
+  ++engine_->stats_.yields;
+  engine_->make_runnable(l);
+  engine_->backend_->suspend(l);
+  l->state = LocationState::kRunning;
+  engine_->run_resume_hook(l);
 }
 
 void Context::block(const char* reason) {
-  Engine::Location* loc =
-      engine_->locations_[static_cast<std::size_t>(id_)].get();
-  {
-    std::unique_lock lk(engine_->mu_);
-    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-    if (engine_->token_ != id_) {
-      throw UsageError(
-          "Context::block called by a location without the token");
-    }
-    ++engine_->stats_.blocks;
-    loc->state = LocationState::kBlocked;
-    loc->block_reason = reason;
-    engine_->token_ = kNoLocation;
-    engine_->cv_.notify_all();
-    // Wait until some other location wakes us (making us runnable) *and*
-    // the scheduler hands us the token.
-    engine_->cv_.wait(
-        lk, [&] { return engine_->token_ == id_ || engine_->poisoned_; });
-    if (engine_->poisoned_) throw Engine::ShutdownSignal{};
-    loc->state = LocationState::kRunning;
-    loc->block_reason = "";
+  detail::Location* l = engine_->loc(id_);
+  if (engine_->poisoned_.load(std::memory_order_acquire)) {
+    throw detail::ShutdownSignal{};
   }
-  engine_->run_resume_hook(loc);
+  engine_->check_running(id_, "Context::block");
+  ++engine_->stats_.blocks;
+  l->state = LocationState::kBlocked;
+  l->block_reason = reason;
+  // No ready-queue entry: Engine::wake (or a finishing join child) pushes
+  // one when this location becomes runnable again.
+  engine_->backend_->suspend(l);
+  l->state = LocationState::kRunning;
+  l->block_reason = "";
+  engine_->run_resume_hook(l);
 }
 
 std::vector<LocationId> Context::spawn(
     std::span<const std::pair<std::string, LocationBody>> children) {
+  engine_->check_running(id_, "Context::spawn");
   std::vector<LocationId> ids;
   ids.reserve(children.size());
-  std::unique_lock lk(engine_->mu_);
-  if (engine_->token_ != id_) {
-    throw UsageError("Context::spawn called by a location without the token");
-  }
-  const VTime start =
-      engine_->locations_[static_cast<std::size_t>(id_)]->now;
+  const VTime start = engine_->loc(id_)->now;
   for (const auto& [child_name, child_body] : children) {
     ids.push_back(
         engine_->spawn_internal(child_name, child_body, id_, start));
@@ -110,56 +122,54 @@ std::vector<LocationId> Context::spawn(
 }
 
 void Context::join(std::span<const LocationId> children) {
-  Engine::Location* loc =
-      engine_->locations_[static_cast<std::size_t>(id_)].get();
+  detail::Location* l = engine_->loc(id_);
   for (;;) {
-    {
-      std::unique_lock lk(engine_->mu_);
-      if (engine_->token_ != id_) {
-        throw UsageError(
-            "Context::join called by a location without the token");
+    engine_->check_running(id_, "Context::join");
+    bool all_finished = true;
+    VTime latest = l->now;
+    for (LocationId c : children) {
+      const detail::Location* child = engine_->loc(c);
+      if (child->state != LocationState::kFinished) {
+        all_finished = false;
+        break;
       }
-      bool all_finished = true;
-      VTime latest = loc->now;
-      for (LocationId c : children) {
-        const auto& child = *engine_->locations_[static_cast<std::size_t>(c)];
-        if (child.state != LocationState::kFinished) {
-          all_finished = false;
-          break;
-        }
-        latest = later(latest, child.now);
-      }
-      if (all_finished) {
-        loc->now = latest;
-        return;
-      }
-      loc->joining.assign(children.begin(), children.end());
+      latest = later(latest, child->now);
     }
+    if (all_finished) {
+      l->now = latest;
+      return;
+    }
+    l->joining.assign(children.begin(), children.end());
     block("join");
   }
 }
 
 // ----------------------------------------------------------------- Engine
 
-Engine::Engine(EngineOptions options) : options_(options) {}
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      backend_kind_(resolve_backend(options.backend)),
+      backend_(detail::make_backend(backend_kind_, this, options_)) {}
 
 Engine::~Engine() {
-  // Normal completion joins in run(); this path covers engines that were
-  // never run (or whose run() threw after joining).  Unwind any parked
-  // threads so the process can exit cleanly.
-  {
-    std::unique_lock lk(mu_);
-    poisoned_ = true;
-    cv_.notify_all();
-    cv_.wait(lk, [&] { return finished_count_ == locations_.size(); });
-  }
-  for (auto& loc : locations_) {
-    if (loc->thread.joinable()) loc->thread.join();
+  // Normal completion (and every failure path) shuts down inside run();
+  // this covers engines that were never run.  Parked locations are
+  // unwound so stacks and threads are released before members die.
+  shutdown();
+}
+
+detail::Location* Engine::loc(LocationId id) const {
+  return locations_.at(static_cast<std::size_t>(id)).get();
+}
+
+void Engine::check_running(LocationId id, const char* what) const {
+  if (running_ != id) {
+    throw UsageError(std::string(what) +
+                     " called by a location without the token");
   }
 }
 
 LocationId Engine::add_location(std::string name, LocationBody body) {
-  std::unique_lock lk(mu_);
   if (started_) {
     throw UsageError(
         "Engine::add_location after run(); use Context::spawn instead");
@@ -169,82 +179,101 @@ LocationId Engine::add_location(std::string name, LocationBody body) {
 }
 
 void Engine::set_resume_hook(LocationId id, LocationBody hook) {
-  std::unique_lock lk(mu_);
   if (started_) {
     throw UsageError("Engine::set_resume_hook after run()");
   }
-  locations_.at(static_cast<std::size_t>(id))->resume_hook = std::move(hook);
+  loc(id)->resume_hook = std::move(hook);
 }
 
-void Engine::run_resume_hook(Location* loc) {
-  // Called on the location's thread with the token held and mu_ released.
-  // The hook may advance/yield (which re-enters this function; in_hook
+void Engine::run_resume_hook(detail::Location* l) {
+  // Runs in the location's execution context with the token held.  The
+  // hook may advance/yield (which re-enters this function; in_hook
   // suppresses the recursion) and may throw into the location body.
-  if (!loc->resume_hook || loc->in_hook) return;
-  loc->in_hook = true;
+  if (!l->resume_hook || l->in_hook) return;
+  l->in_hook = true;
   struct Reset {
     bool* flag;
     ~Reset() { *flag = false; }
-  } reset{&loc->in_hook};
-  loc->resume_hook(*loc->context);
+  } reset{&l->in_hook};
+  l->resume_hook(*l->context);
 }
 
 LocationId Engine::spawn_internal(std::string name, LocationBody body,
                                   LocationId parent, VTime start) {
-  // Caller holds mu_ (or the engine has not started yet).
+  // Called from the main thread before run(), or by the token holder.
   if (locations_.size() >= options_.max_locations) {
     throw UsageError("Engine: location limit exceeded (" +
                      std::to_string(options_.max_locations) + ")");
   }
   const LocationId id = static_cast<LocationId>(locations_.size());
-  auto loc = std::make_unique<Location>();
-  loc->id = id;
-  loc->parent = parent;
-  loc->name = std::move(name);
-  loc->body = std::move(body);
-  loc->state = LocationState::kRunnable;
-  loc->now = start;
-  loc->context = std::unique_ptr<Context>(new Context(this, id));
-  loc->rng = std::make_unique<Rng>(options_.seed,
-                                   static_cast<std::uint64_t>(id));
-  Location* raw = loc.get();
-  locations_.push_back(std::move(loc));
+  auto l = std::make_unique<detail::Location>();
+  l->id = id;
+  l->parent = parent;
+  l->name = std::move(name);
+  l->body = std::move(body);
+  l->now = start;
+  l->context = std::unique_ptr<Context>(new Context(this, id));
+  l->rng = std::make_unique<Rng>(options_.seed,
+                                 static_cast<std::uint64_t>(id));
+  detail::Location* raw = l.get();
+  locations_.push_back(std::move(l));
   ++stats_.spawns;
-  raw->thread = std::thread([this, raw] { thread_main(raw); });
+  backend_->adopt(raw);
+  make_runnable(raw);
   return id;
 }
 
-void Engine::thread_main(Location* loc) {
-  {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return token_ == loc->id || poisoned_; });
-    if (poisoned_) {
-      loc->state = LocationState::kFinished;
-      ++finished_count_;
-      cv_.notify_all();
-      return;
-    }
-    loc->state = LocationState::kRunning;
-  }
+void Engine::location_main(detail::Location* l) {
+  // The body driver, run inside the location's execution context by the
+  // backend (fiber trampoline / location thread) each time from the top.
+  l->state = LocationState::kRunning;
+  bool unwound = false;
   try {
-    run_resume_hook(loc);
-    loc->body(*loc->context);
-  } catch (ShutdownSignal) {
-    // Unwound during engine shutdown; not an error.
+    run_resume_hook(l);
+    l->body(*l->context);
+  } catch (detail::ShutdownSignal) {
+    unwound = true;  // poisoned teardown; not an error
   } catch (...) {
-    loc->error = std::current_exception();
+    l->error = std::current_exception();
   }
-  std::unique_lock lk(mu_);
-  loc->state = LocationState::kFinished;
+  if (unwound || poisoned_.load(std::memory_order_acquire)) {
+    // Poisoned teardown: locations exit concurrently on the thread
+    // backend, so shared bookkeeping is deferred to Engine::shutdown().
+    return;
+  }
+  l->state = LocationState::kFinished;
   ++finished_count_;
-  maybe_wake_joiners(loc);
-  if (token_ == loc->id) token_ = kNoLocation;
-  cv_.notify_all();
+  if (l->error && !first_error_) first_error_ = l->error;
+  maybe_wake_joiners(l);
+  // The backend performs the final handoff to the scheduler on return.
 }
 
-void Engine::maybe_wake_joiners(Location* finished) {
-  // Caller holds mu_.  A joiner whose whole join set is now finished becomes
-  // runnable with its clock advanced to the latest child end time.
+void Engine::make_runnable(detail::Location* l) {
+  l->state = LocationState::kRunnable;
+  ready_.push_back(ReadyEntry{l->now, l->id});
+  std::push_heap(ready_.begin(), ready_.end(),
+                 [](const ReadyEntry& a, const ReadyEntry& b) {
+                   return ready_after(a.t, a.id, b.t, b.id);
+                 });
+}
+
+detail::Location* Engine::pick_next() {
+  // Minimum (clock, id) over runnable locations.  Entries are immutable
+  // snapshots and each runnable location has exactly one, so the heap top
+  // is always current — O(log n) per handoff instead of the old O(n) scan.
+  if (ready_.empty()) return nullptr;
+  std::pop_heap(ready_.begin(), ready_.end(),
+                [](const ReadyEntry& a, const ReadyEntry& b) {
+                  return ready_after(a.t, a.id, b.t, b.id);
+                });
+  const ReadyEntry e = ready_.back();
+  ready_.pop_back();
+  return loc(e.id);
+}
+
+void Engine::maybe_wake_joiners(detail::Location* finished) {
+  // A joiner whose whole join set is now finished becomes runnable with
+  // its clock advanced to the latest child end time.
   for (auto& l : locations_) {
     if (l->state != LocationState::kBlocked || l->joining.empty()) continue;
     if (std::find(l->joining.begin(), l->joining.end(), finished->id) ==
@@ -254,51 +283,33 @@ void Engine::maybe_wake_joiners(Location* finished) {
     bool all = true;
     VTime latest = l->now;
     for (LocationId c : l->joining) {
-      const auto& child = *locations_[static_cast<std::size_t>(c)];
-      if (child.state != LocationState::kFinished) {
+      const detail::Location* child = loc(c);
+      if (child->state != LocationState::kFinished) {
         all = false;
         break;
       }
-      latest = later(latest, child.now);
+      latest = later(latest, child->now);
     }
     if (all) {
       l->now = latest;
       l->joining.clear();
-      l->state = LocationState::kRunnable;
       ++stats_.wakes;
+      make_runnable(l.get());
     }
   }
 }
 
-Engine::Location* Engine::pick_next() {
-  // Caller holds mu_.  Minimum (clock, id) over runnable locations.
-  Location* best = nullptr;
-  for (auto& l : locations_) {
-    if (l->state != LocationState::kRunnable) continue;
-    if (best == nullptr || l->now < best->now) best = l.get();
-  }
-  return best;
-}
-
 void Engine::run() {
-  std::unique_lock lk(mu_);
   if (started_) throw UsageError("Engine::run called twice");
   started_ = true;
-  std::exception_ptr first_error;
   std::string deadlock;
   std::string hang;
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t iterations = 0;
   while (true) {
-    for (auto& l : locations_) {
-      if (l->error) {
-        first_error = l->error;
-        break;
-      }
-    }
-    if (first_error) break;
+    if (first_error_) break;
     if (finished_count_ == locations_.size()) break;
-    Location* next = pick_next();
+    detail::Location* next = pick_next();
     if (next == nullptr) {
       deadlock = deadlock_dump();
       break;
@@ -326,25 +337,32 @@ void Engine::run() {
                         " ms) exhausted");
       break;
     }
-    token_ = next->id;
-    cv_.notify_all();
-    cv_.wait(lk, [&] { return token_ == kNoLocation; });
+    running_ = next->id;
+    backend_->resume(next);
+    running_ = kNoLocation;
   }
-  // Shut down any still-parked or blocked locations.
-  poisoned_ = true;
-  cv_.notify_all();
-  cv_.wait(lk, [&] { return finished_count_ == locations_.size(); });
-  lk.unlock();
-  for (auto& loc : locations_) {
-    if (loc->thread.joinable()) loc->thread.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  shutdown();
+  if (first_error_) std::rethrow_exception(first_error_);
   if (!deadlock.empty()) throw DeadlockError(deadlock);
   if (!hang.empty()) throw HangError(hang);
 }
 
+void Engine::shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  poisoned_.store(true, std::memory_order_release);
+  if (backend_) backend_->shutdown();
+  // The backend has quiesced: finish bookkeeping for every location that
+  // was unwound (or never started) is safe single-threaded here.
+  for (auto& l : locations_) {
+    if (l->state != LocationState::kFinished) {
+      l->state = LocationState::kFinished;
+      ++finished_count_;
+    }
+  }
+}
+
 std::string Engine::state_dump(const std::string& headline) const {
-  // Caller holds mu_.
   std::ostringstream os;
   os << headline << "\n";
   for (const auto& l : locations_) {
@@ -363,54 +381,59 @@ std::string Engine::deadlock_dump() const {
 }
 
 void Engine::wake(LocationId id, VTime not_before) {
-  std::unique_lock lk(mu_);
-  Location* loc = locations_.at(static_cast<std::size_t>(id)).get();
-  if (loc->state != LocationState::kBlocked) {
+  detail::Location* l = loc(id);
+  if (l->state != LocationState::kBlocked) {
     throw UsageError("Engine::wake: location " + std::to_string(id) + " (" +
-                     loc->name + ") is not blocked but " +
-                     to_string(loc->state));
+                     l->name + ") is not blocked but " +
+                     to_string(l->state));
   }
-  loc->now = later(loc->now, not_before);
-  loc->state = LocationState::kRunnable;
+  l->now = later(l->now, not_before);
   ++stats_.wakes;
+  make_runnable(l);
 }
 
-std::size_t Engine::location_count() const {
-  std::unique_lock lk(mu_);
-  return locations_.size();
-}
+std::size_t Engine::location_count() const { return locations_.size(); }
 
-VTime Engine::end_time_of(LocationId id) const {
-  std::unique_lock lk(mu_);
-  return locations_.at(static_cast<std::size_t>(id))->now;
-}
+VTime Engine::end_time_of(LocationId id) const { return loc(id)->now; }
 
 const std::string& Engine::name_of(LocationId id) const {
-  std::unique_lock lk(mu_);
-  return locations_.at(static_cast<std::size_t>(id))->name;
+  return loc(id)->name;
 }
 
-LocationId Engine::parent_of(LocationId id) const {
-  std::unique_lock lk(mu_);
-  return locations_.at(static_cast<std::size_t>(id))->parent;
-}
+LocationId Engine::parent_of(LocationId id) const { return loc(id)->parent; }
 
-VTime Engine::now_of(LocationId id) const {
-  std::unique_lock lk(mu_);
-  return locations_.at(static_cast<std::size_t>(id))->now;
-}
+VTime Engine::now_of(LocationId id) const { return loc(id)->now; }
 
 bool Engine::is_blocked(LocationId id) const {
-  std::unique_lock lk(mu_);
-  return locations_.at(static_cast<std::size_t>(id))->state ==
-         LocationState::kBlocked;
+  return loc(id)->state == LocationState::kBlocked;
 }
 
 VTime Engine::horizon() const {
-  std::unique_lock lk(mu_);
   VTime h = VTime::zero();
   for (const auto& l : locations_) h = later(h, l->now);
   return h;
 }
+
+namespace detail {
+
+std::unique_ptr<ExecutionBackend> make_backend(
+    EngineBackend kind, Engine* engine,
+    [[maybe_unused]] const EngineOptions& options) {
+  switch (kind) {
+#if ATS_SIMT_HAS_FIBERS
+    case EngineBackend::kFiber:
+      return std::make_unique<FiberBackend>(engine,
+                                            options.fiber_stack_bytes);
+#endif
+    case EngineBackend::kThread:
+      return std::make_unique<ThreadBackend>(engine);
+    default:
+      break;
+  }
+  throw UsageError(std::string("engine backend unavailable: ") +
+                   to_string(kind));
+}
+
+}  // namespace detail
 
 }  // namespace ats::simt

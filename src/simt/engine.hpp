@@ -1,12 +1,12 @@
 // Deterministic discrete-event execution engine ("simt").
 //
-// The engine runs a set of *locations* — simulated processes or threads,
-// each backed by one OS thread — under a token-passing scheduler: exactly
-// one location executes at any moment, and the scheduler always resumes the
-// runnable location with the smallest virtual clock (ties broken by id).
-// Locations yield the token at every simulated primitive (work advance,
-// message operation, barrier), so all externally visible operations execute
-// in global virtual-time order.  Consequences:
+// The engine runs a set of *locations* — simulated processes or threads —
+// under a token-passing scheduler: exactly one location executes at any
+// moment, and the scheduler always resumes the runnable location with the
+// smallest virtual clock (ties broken by id).  Locations yield the token
+// at every simulated primitive (work advance, message operation, barrier),
+// so all externally visible operations execute in global virtual-time
+// order.  Consequences:
 //
 //  * runs are bit-deterministic regardless of host core count,
 //  * shared runtime state (message queues, barrier counters) needs no locks
@@ -14,21 +14,32 @@
 //  * simulated waiting costs no host CPU: a blocked location's clock jumps
 //    forward when it is woken.
 //
+// *How* the token moves is an execution-backend choice (DESIGN.md §9):
+//
+//  * kFiber (default): every location is a stackful fiber on the caller's
+//    thread; a handoff is one userspace register switch — no mutex, no
+//    condition variable, no kernel.
+//  * kThread: every location is an OS thread; a handoff is a directed
+//    condition-variable signal.  ~50× slower per handoff, but visible to
+//    ThreadSanitizer, which cannot follow fiber switches.
+//
+// Scheduling decisions, statistics, budgets and failure dumps live above
+// the backend, so both produce bit-identical traces, EngineStats and
+// deadlock/hang dumps (pinned by tests/backend_parity_test.cpp).
+//
 // This is the substrate on which mpisim and ompsim implement MPI-like and
 // OpenMP-like semantics.  It replaces the real parallel machine of the ATS
 // paper with an exact, laptop-scale equivalent (see DESIGN.md §2).
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -44,7 +55,13 @@ inline constexpr LocationId kNoLocation = -1;
 class Engine;
 class Context;
 
-/// A location's body: runs on its own OS thread under the engine token.
+namespace detail {
+struct Location;
+class ExecutionBackend;
+}  // namespace detail
+
+/// A location's body: runs in its own execution context (fiber or OS
+/// thread) under the engine token.
 using LocationBody = std::function<void(Context&)>;
 
 enum class LocationState : std::uint8_t {
@@ -56,11 +73,34 @@ enum class LocationState : std::uint8_t {
 
 const char* to_string(LocationState s);
 
+/// How locations execute (see the header comment).
+enum class EngineBackend : std::uint8_t {
+  kAuto,    ///< ATS_ENGINE_BACKEND env var ("fiber"/"thread"), else fiber
+  kFiber,   ///< stackful fibers on the calling thread (fast path)
+  kThread,  ///< one OS thread per location (TSan-friendly fallback)
+};
+
+const char* to_string(EngineBackend b);
+
+/// Resolves kAuto against the ATS_ENGINE_BACKEND environment variable
+/// (default fiber).  Under ThreadSanitizer builds — where fibers are
+/// unavailable — every request resolves to kThread.  Throws UsageError on
+/// an unrecognised environment value.
+EngineBackend resolve_backend(EngineBackend requested);
+
 struct EngineOptions {
   /// Seed for the per-location deterministic RNG streams.
   std::uint64_t seed = 0x415453;  // "ATS"
   /// Hard cap on locations, as a runaway-fork backstop.
   std::size_t max_locations = 4096;
+
+  /// Execution backend; kAuto resolves via ATS_ENGINE_BACKEND.  An
+  /// explicit kFiber/kThread here wins over the environment.
+  EngineBackend backend = EngineBackend::kAuto;
+  /// Stack size per location on the fiber backend (clamped to >= 64 KiB).
+  /// Location bodies in this repo are shallow; raise it for deep client
+  /// recursion.
+  std::size_t fiber_stack_bytes = 256 * 1024;
 
   // --- supervision budgets (all zero = unlimited) -----------------------
   // Exceeding any budget raises HangError from run() with the same
@@ -75,8 +115,9 @@ struct EngineOptions {
   /// that keep yielding without ever advancing virtual time.
   std::uint64_t yield_limit = 0;
   /// Host wall-clock budget for run(), checked periodically by the
-  /// scheduler.  A cooperative backstop against host-level hangs; it can
-  /// only trigger while locations still yield.
+  /// scheduler loop itself (no cooperating watchdog thread on either
+  /// backend).  A backstop against host-level hangs; it can only trigger
+  /// while locations still yield.
   std::chrono::milliseconds wall_clock_limit{0};
 };
 
@@ -88,8 +129,8 @@ struct EngineStats {
 };
 
 /// Handle passed to a location body; the only way a body interacts with
-/// simulated time and the scheduler.  Valid only on the owning location's
-/// thread while that location holds the token.
+/// simulated time and the scheduler.  Valid only in the owning location's
+/// execution context while that location holds the token.
 class Context {
  public:
   LocationId id() const { return id_; }
@@ -152,22 +193,28 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// The backend actually executing this engine (kAuto already resolved).
+  EngineBackend backend() const { return backend_kind_; }
+
   /// Adds a top-level location (before run()).  Returns its id; ids are
   /// assigned densely in spawn order.
   LocationId add_location(std::string name, LocationBody body);
 
-  /// Installs a hook invoked on `id`'s thread each time the location
-  /// obtains the token (at start and after every yield/block), before
-  /// control returns to the body.  Fault injection uses this to crash or
-  /// stall a location when its clock reaches a trigger time.  The hook may
-  /// call Context methods (it holds the token) and may throw; a hook that
-  /// advances or yields does not re-enter itself.  Install before run().
+  /// Installs a hook invoked in `id`'s execution context each time the
+  /// location obtains the token (at start and after every yield/block),
+  /// before control returns to the body.  Fault injection uses this to
+  /// crash or stall a location when its clock reaches a trigger time.  The
+  /// hook may call Context methods (it holds the token) and may throw; a
+  /// hook that advances or yields does not re-enter itself.  Install
+  /// before run().
   void set_resume_hook(LocationId id, LocationBody hook);
 
   /// Runs the simulation to completion.  May be called exactly once.
   /// Throws DeadlockError when all unfinished locations are blocked and
-  /// HangError when a supervision budget (EngineOptions) is exhausted; both
-  /// paths join every location thread before throwing.
+  /// HangError when a supervision budget (EngineOptions) is exhausted; on
+  /// every exit path — completion or failure — all location stacks have
+  /// been unwound and all backend resources released before run() returns
+  /// or throws.
   void run();
 
   // --- introspection (valid after run(), or for finished locations) ---
@@ -193,54 +240,56 @@ class Engine {
 
  private:
   friend class Context;
+  friend class detail::ExecutionBackend;
 
-  struct Location {
-    LocationId id = kNoLocation;
-    LocationId parent = kNoLocation;
-    std::string name;
-    LocationBody body;
-    LocationState state = LocationState::kRunnable;
-    const char* block_reason = "";
-    VTime now;
-    std::thread thread;
-    std::exception_ptr error;
-    std::unique_ptr<Context> context;
-    std::unique_ptr<Rng> rng;
-    // join bookkeeping: set while blocked in Context::join()
-    std::vector<LocationId> joining;
-    // supervision hook (set_resume_hook); in_hook guards re-entry when the
-    // hook itself advances or yields.
-    LocationBody resume_hook;
-    bool in_hook = false;
+  /// Ready-queue entry: a (clock, id) snapshot taken when the location
+  /// became runnable.  A location's clock never changes while it sits in
+  /// the queue, so entries are immutable and each location appears at most
+  /// once — no lazy deletion needed.
+  struct ReadyEntry {
+    VTime t;
+    LocationId id;
   };
 
+  detail::Location* loc(LocationId id) const;
   LocationId spawn_internal(std::string name, LocationBody body,
                             LocationId parent, VTime start);
-  void thread_main(Location* loc);
-  void handoff_to_scheduler(Location* loc);  // called on location thread
-  void wait_for_token(Location* loc);        // called on location thread
-  Location* pick_next();                     // scheduler: min (time, id)
-  void resume(Location* loc);                // scheduler side
+  /// Body driver, run inside the location's execution context by the
+  /// backend: resume hook, body, error capture, finish bookkeeping.
+  void location_main(detail::Location* l);
+  /// Marks `l` runnable and pushes its (clock, id) onto the ready heap.
+  void make_runnable(detail::Location* l);
+  /// Pops the minimum-(clock, id) runnable location; nullptr = none left.
+  detail::Location* pick_next();
+  /// Throws UsageError unless `id` currently holds the token.
+  void check_running(LocationId id, const char* what) const;
   /// Per-location state dump under `headline` (shared by deadlock/hang).
   std::string state_dump(const std::string& headline) const;
   std::string deadlock_dump() const;
-  void run_resume_hook(Location* loc);       // called on location thread
-  void maybe_wake_joiners(Location* finished);
-
-  // Thrown through blocked locations to unwind them during shutdown.
-  struct ShutdownSignal {};
+  void run_resume_hook(detail::Location* l);  // in the location's context
+  void maybe_wake_joiners(detail::Location* finished);
+  /// Poisons the engine, unwinds every unfinished location through the
+  /// backend and finalises their bookkeeping.  Idempotent; called by run()
+  /// on every exit path and by the destructor for never-run engines.
+  void shutdown();
 
   EngineOptions options_;
+  EngineBackend backend_kind_;
   EngineStats stats_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  LocationId token_ = kNoLocation;   // which location may run; kNoLocation =
-                                     // scheduler's turn
+  std::unique_ptr<detail::ExecutionBackend> backend_;
+  LocationId running_ = kNoLocation;  // token holder; kNoLocation =
+                                      // scheduler's turn
   bool started_ = false;
-  bool poisoned_ = false;
-  std::vector<std::unique_ptr<Location>> locations_;
+  bool shutdown_done_ = false;
+  /// Set (once) when the engine starts tearing down; locations observing
+  /// it unwind via ShutdownSignal.  Atomic because thread-backend
+  /// locations read it while exiting concurrently during shutdown.
+  std::atomic<bool> poisoned_{false};
+  std::vector<std::unique_ptr<detail::Location>> locations_;
+  std::vector<ReadyEntry> ready_;  // min-heap on (clock, id)
   std::size_t finished_count_ = 0;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace ats::simt

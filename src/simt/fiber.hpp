@@ -1,0 +1,112 @@
+// Stackful fibers — the execution primitive behind the engine's fiber
+// backend (see engine.hpp, DESIGN.md §9).
+//
+// A Fiber is a cooperatively scheduled execution context with its own
+// stack.  Switching between the owning thread and a fiber is a plain
+// userspace register swap: on x86-64 and aarch64 a hand-rolled
+// callee-saved-register switch (~tens of nanoseconds, no syscall), on
+// other POSIX platforms the ucontext fallback (correct, but swapcontext
+// re-loads the signal mask with a kernel call per switch).
+//
+// Rules of use (all enforced by the engine, not the class):
+//  * resume() and suspend() must be called from the same OS thread; fibers
+//    never migrate between threads (so thread-local state stays valid).
+//  * The entry function must not let an exception escape — there is no
+//    unwind information below the fiber's first frame.  Exceptions thrown
+//    and caught *within* the fiber (including full-stack unwinds during
+//    engine shutdown) are fine: the whole throw/catch lives on the fiber's
+//    own stack.
+//  * A fiber that has started but not finished holds live frames on its
+//    stack; unwind it (resume it and make it return or throw) before
+//    destroying it, or those frames' destructors never run.
+//  * The raw switch does not save floating-point control state (MXCSR /
+//    FPCR); entry code must not change rounding or exception modes.
+//
+// ThreadSanitizer cannot follow userspace context switches, so fibers are
+// compiled out under TSan (ATS_SIMT_HAS_FIBERS == 0) and the engine falls
+// back to the thread backend.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#if defined(__SANITIZE_THREAD__)
+#define ATS_SIMT_HAS_FIBERS 0
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ATS_SIMT_HAS_FIBERS 0
+#else
+#define ATS_SIMT_HAS_FIBERS 1
+#endif
+#else
+#define ATS_SIMT_HAS_FIBERS 1
+#endif
+
+#if ATS_SIMT_HAS_FIBERS
+
+#if defined(ATS_FIBER_FORCE_UCONTEXT)
+#define ATS_FIBER_UCONTEXT 1
+#elif defined(__ELF__) && defined(__x86_64__)
+#define ATS_FIBER_RAW 1
+#elif defined(__ELF__) && defined(__aarch64__)
+#define ATS_FIBER_RAW 1
+#else
+#define ATS_FIBER_UCONTEXT 1
+#endif
+
+#if defined(ATS_FIBER_UCONTEXT)
+#include <ucontext.h>
+#endif
+
+namespace ats::simt {
+
+class Fiber {
+ public:
+  /// Creates a fiber that will run `entry` on a fresh stack of (at least)
+  /// `stack_bytes` when first resumed.  Nothing runs until resume().
+  Fiber(std::size_t stack_bytes, std::function<void()> entry);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the calling context into the fiber; returns when the
+  /// fiber calls suspend() or its entry function returns.  Must not be
+  /// called on a finished fiber.
+  void resume();
+
+  /// Called from inside the fiber: switches back to whoever called
+  /// resume().  Returns when the fiber is resumed again.
+  void suspend();
+
+  /// True once the entry function has returned.  A finished fiber's stack
+  /// holds no live frames and may be destroyed freely.
+  bool finished() const { return finished_; }
+
+  /// True once resume() has been called at least once.  A started,
+  /// unfinished fiber must be unwound before destruction.
+  bool started() const { return started_; }
+
+ private:
+  friend void fiber_run_entry(Fiber* f);
+  void run_entry();  // trampoline target: entry_(), then the final switch
+
+  std::function<void()> entry_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  bool started_ = false;
+  bool finished_ = false;
+
+#if defined(ATS_FIBER_RAW)
+  void* fiber_sp_ = nullptr;   // fiber's saved stack pointer while parked
+  void* return_sp_ = nullptr;  // resumer's saved stack pointer while inside
+#else
+  ucontext_t fiber_ctx_;
+  ucontext_t return_ctx_;
+#endif
+};
+
+}  // namespace ats::simt
+
+#endif  // ATS_SIMT_HAS_FIBERS

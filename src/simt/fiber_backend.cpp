@@ -1,0 +1,62 @@
+#include "simt/backend.hpp"
+
+#if ATS_SIMT_HAS_FIBERS
+
+namespace ats::simt::detail {
+
+// Fiber-per-location backend: every location is a stackful fiber of the
+// scheduler's thread, so a handoff is a single userspace register switch —
+// no mutex, no condition variable, no kernel involvement.
+
+struct FiberBackend::Slot final : ExecSlot {
+  Slot(std::size_t stack_bytes, std::function<void()> entry)
+      : fiber(stack_bytes, std::move(entry)) {}
+  Fiber fiber;
+};
+
+void FiberBackend::adopt(Location* loc) {
+  loc->exec = std::make_unique<Slot>(stack_bytes_,
+                                     [this, loc] { location_main(loc); });
+}
+
+void FiberBackend::resume(Location* loc) {
+  static_cast<Slot*>(loc->exec.get())->fiber.resume();
+}
+
+void FiberBackend::suspend(Location* loc) {
+  // Pre-swap check: a location that keeps running after absorbing a
+  // ShutdownSignal (or that was granted the token just as the engine
+  // poisoned) must not park again.
+  if (poisoned()) throw ShutdownSignal{};
+  static_cast<Slot*>(loc->exec.get())->fiber.suspend();
+  // Post-swap check: shutdown() resumes parked fibers exactly so that this
+  // throw unwinds their stacks at the park point.
+  if (poisoned()) throw ShutdownSignal{};
+}
+
+void FiberBackend::shutdown() {
+  // Unwind every started, unfinished fiber: resuming it makes the
+  // post-swap check in suspend() throw ShutdownSignal at its park point;
+  // location_main absorbs the signal and the fiber finishes.  The whole
+  // throw/catch runs on the fiber's own stack, so unwinding parked frames
+  // (and their destructors) is ordinary exception handling.  Never-started
+  // fibers hold no frames and are simply destroyed with the engine.
+  // The outer loop is defensive: unwinding must not create new parked
+  // fibers (Context calls throw immediately once poisoned), but if a
+  // pathological body did, another sweep would catch it.
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (const auto& l : locations()) {
+      auto* slot = static_cast<Slot*>(l->exec.get());
+      if (slot == nullptr) continue;
+      if (slot->fiber.started() && !slot->fiber.finished()) {
+        slot->fiber.resume();
+        progress = true;
+      }
+    }
+  }
+}
+
+}  // namespace ats::simt::detail
+
+#endif  // ATS_SIMT_HAS_FIBERS

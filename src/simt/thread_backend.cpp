@@ -1,0 +1,92 @@
+#include "simt/backend.hpp"
+
+namespace ats::simt::detail {
+
+// Thread-per-location backend.  Handoff protocol (everything under mu_):
+//
+//   granted_ == id           location `id` may run; everyone else parks
+//   granted_ == kNoLocation  the scheduler may run
+//
+// Each side wakes exactly the party it hands control to: the scheduler
+// signals the target location's own condition variable, the location
+// signals sched_cv_.  No other thread is ever woken (the old
+// single-cv design notified every parked location on each handoff).
+struct ThreadBackend::Slot final : ExecSlot {
+  std::thread thread;
+  std::condition_variable cv;  // this location parks here
+
+  ~Slot() override {
+    // Backstop only: shutdown() joins after the live_ count hits zero.
+    if (thread.joinable()) thread.join();
+  }
+};
+
+void ThreadBackend::adopt(Location* loc) {
+  auto slot = std::make_unique<Slot>();
+  Slot* raw = slot.get();
+  loc->exec = std::move(slot);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++live_;
+  }
+  raw->thread = std::thread([this, loc] { thread_entry(loc); });
+}
+
+void ThreadBackend::thread_entry(Location* loc) {
+  Slot* slot = static_cast<Slot*>(loc->exec.get());
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    slot->cv.wait(lk, [&] { return granted_ == loc->id || poisoned(); });
+    if (granted_ != loc->id) {
+      // Poisoned before ever running: the body never started, so there is
+      // nothing to unwind.  Engine::shutdown() finalises the bookkeeping.
+      --live_;
+      sched_cv_.notify_one();
+      return;
+    }
+  }
+  location_main(loc);
+  std::lock_guard<std::mutex> lk(mu_);
+  granted_ = kNoLocation;
+  --live_;
+  sched_cv_.notify_one();
+}
+
+void ThreadBackend::resume(Location* loc) {
+  Slot* slot = static_cast<Slot*>(loc->exec.get());
+  std::unique_lock<std::mutex> lk(mu_);
+  granted_ = loc->id;
+  slot->cv.notify_one();
+  sched_cv_.wait(lk, [&] { return granted_ == kNoLocation; });
+}
+
+void ThreadBackend::suspend(Location* loc) {
+  Slot* slot = static_cast<Slot*>(loc->exec.get());
+  std::unique_lock<std::mutex> lk(mu_);
+  if (poisoned()) throw ShutdownSignal{};
+  granted_ = kNoLocation;
+  sched_cv_.notify_one();
+  slot->cv.wait(lk, [&] { return granted_ == loc->id || poisoned(); });
+  if (granted_ != loc->id) throw ShutdownSignal{};
+}
+
+void ThreadBackend::shutdown() {
+  // poisoned_ is already set (Engine::shutdown).  Wake every parked
+  // location thread; each observes the poison, unwinds (ShutdownSignal
+  // through suspend) or exits unstarted, and decrements live_.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& l : locations()) {
+      if (auto* slot = static_cast<Slot*>(l->exec.get())) slot->cv.notify_one();
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  sched_cv_.wait(lk, [&] { return live_ == 0; });
+  lk.unlock();
+  for (const auto& l : locations()) {
+    auto* slot = static_cast<Slot*>(l->exec.get());
+    if (slot && slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+}  // namespace ats::simt::detail

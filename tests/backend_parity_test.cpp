@@ -1,0 +1,176 @@
+// Backend parity: the fiber and thread execution backends must be
+// observationally indistinguishable — bit-identical traces, EngineStats,
+// end times and deadlock/hang dumps (DESIGN.md §9).  Every scheduling
+// decision lives above the backend, so any divergence here is a bug in
+// the handoff mechanics, not a tolerable platform difference.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gen/registry.hpp"
+#include "mpisim/world.hpp"
+#include "simt/engine.hpp"
+
+namespace {
+
+using namespace ats;
+using simt::EngineBackend;
+
+// True when a fiber request actually yields fibers (false under TSan,
+// where the engine silently falls back to threads and parity against the
+// thread backend is trivially true).
+bool fibers_available() {
+  return simt::resolve_backend(EngineBackend::kFiber) ==
+         EngineBackend::kFiber;
+}
+
+std::string trace_bytes(const trace::Trace& tr) {
+  std::ostringstream os;
+  tr.save(os);
+  return os.str();
+}
+
+TEST(BackendParity, EngineReportsRequestedBackend) {
+  simt::EngineOptions opt;
+  opt.backend = EngineBackend::kThread;
+  EXPECT_EQ(simt::Engine(opt).backend(), EngineBackend::kThread);
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  opt.backend = EngineBackend::kFiber;
+  EXPECT_EQ(simt::Engine(opt).backend(), EngineBackend::kFiber);
+}
+
+// --- registry slice: every completing property function ------------------
+
+class RegistryParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryParityTest, PositiveConfigTraceIsBitIdentical) {
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  const auto& def = gen::Registry::instance().find(GetParam());
+  gen::RunConfig cfg;
+  cfg.nprocs = def.min_procs > 4 ? def.min_procs : 4;
+
+  cfg.engine.backend = EngineBackend::kFiber;
+  const std::string fiber =
+      trace_bytes(gen::run_single_property(def, def.positive, cfg));
+  cfg.engine.backend = EngineBackend::kThread;
+  const std::string thread =
+      trace_bytes(gen::run_single_property(def, def.positive, cfg));
+  EXPECT_EQ(fiber, thread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProperties, RegistryParityTest,
+    ::testing::ValuesIn(gen::Registry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      return pinfo.param;
+    });
+
+// --- stats, makespan and fault injection ---------------------------------
+
+mpi::MpiRunResult stencil_run(EngineBackend backend, bool with_faults) {
+  mpi::MpiRunOptions opt;
+  opt.engine.backend = backend;
+  opt.nprocs = 4;
+  if (with_faults) {
+    opt.faults.stall(2, VTime::zero() + VDur::millis(1), VDur::millis(3));
+  }
+  return mpi::run_mpi(opt, [](mpi::Proc& p) {
+    const int np = p.comm_world().size();
+    const int rank = p.world_rank();
+    int v = rank;
+    for (int step = 0; step < 8; ++step) {
+      p.sim().advance(VDur::micros(100 * (rank + 1)));
+      const int right = (rank + 1) % np;
+      const int left = (rank + np - 1) % np;
+      if (rank % 2 == 0) {
+        p.send(&v, 1, mpi::Datatype::kInt32, right, 0, p.comm_world());
+        p.recv(&v, 1, mpi::Datatype::kInt32, left, 0, p.comm_world());
+      } else {
+        p.recv(&v, 1, mpi::Datatype::kInt32, left, 0, p.comm_world());
+        p.send(&v, 1, mpi::Datatype::kInt32, right, 0, p.comm_world());
+      }
+      p.barrier(p.comm_world());
+    }
+  });
+}
+
+TEST(BackendParity, StencilStatsAndMakespanMatch) {
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  const auto fiber = stencil_run(EngineBackend::kFiber, false);
+  const auto thread = stencil_run(EngineBackend::kThread, false);
+  EXPECT_EQ(trace_bytes(fiber.trace), trace_bytes(thread.trace));
+  EXPECT_EQ(fiber.makespan, thread.makespan);
+  EXPECT_EQ(fiber.stats.spawns, thread.stats.spawns);
+  EXPECT_EQ(fiber.stats.yields, thread.stats.yields);
+  EXPECT_EQ(fiber.stats.blocks, thread.stats.blocks);
+  EXPECT_EQ(fiber.stats.wakes, thread.stats.wakes);
+}
+
+TEST(BackendParity, RankFaultInjectionMatches) {
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  const auto fiber = stencil_run(EngineBackend::kFiber, true);
+  const auto thread = stencil_run(EngineBackend::kThread, true);
+  EXPECT_EQ(trace_bytes(fiber.trace), trace_bytes(thread.trace));
+  EXPECT_EQ(fiber.makespan, thread.makespan);
+  EXPECT_EQ(fiber.fault_report.str(), thread.fault_report.str());
+}
+
+// --- pathological entries: identical failure classes and dumps -----------
+
+std::string run_expecting_failure(const std::string& name,
+                                  EngineBackend backend, int nprocs,
+                                  VDur vt_limit, std::uint64_t yield_limit) {
+  const auto& def = gen::Registry::instance().find(name);
+  gen::RunConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.engine.backend = backend;
+  cfg.engine.virtual_time_limit = vt_limit;
+  cfg.engine.yield_limit = yield_limit;
+  try {
+    gen::run_single_property(def, def.positive, cfg);
+  } catch (const DeadlockError& e) {
+    return std::string("DeadlockError: ") + e.what();
+  } catch (const HangError& e) {
+    return std::string("HangError: ") + e.what();
+  }
+  return "no failure";
+}
+
+TEST(BackendParity, DeadlockDumpIsBitIdentical) {
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  const auto fiber = run_expecting_failure(
+      "pathological_deadlock", EngineBackend::kFiber, 2, VDur::zero(), 0);
+  const auto thread = run_expecting_failure(
+      "pathological_deadlock", EngineBackend::kThread, 2, VDur::zero(), 0);
+  EXPECT_NE(fiber.find("DeadlockError"), std::string::npos) << fiber;
+  EXPECT_EQ(fiber, thread);
+}
+
+TEST(BackendParity, HangDumpIsBitIdentical) {
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  const auto fiber =
+      run_expecting_failure("pathological_hang", EngineBackend::kFiber, 1,
+                            VDur::millis(50), 0);
+  const auto thread =
+      run_expecting_failure("pathological_hang", EngineBackend::kThread, 1,
+                            VDur::millis(50), 0);
+  EXPECT_NE(fiber.find("virtual-time budget"), std::string::npos) << fiber;
+  EXPECT_EQ(fiber, thread);
+}
+
+TEST(BackendParity, LivelockDumpIsBitIdentical) {
+  if (!fibers_available()) GTEST_SKIP() << "fibers compiled out";
+  const auto fiber =
+      run_expecting_failure("pathological_livelock", EngineBackend::kFiber,
+                            1, VDur::zero(), 5000);
+  const auto thread =
+      run_expecting_failure("pathological_livelock", EngineBackend::kThread,
+                            1, VDur::zero(), 5000);
+  EXPECT_NE(fiber.find("yield budget"), std::string::npos) << fiber;
+  EXPECT_EQ(fiber, thread);
+}
+
+}  // namespace

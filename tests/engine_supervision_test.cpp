@@ -1,8 +1,10 @@
 // Supervision tests for the simt engine: virtual-time / yield / wall-clock
-// budgets raising HangError, golden deadlock and hang dumps, and engine
-// destruction safety around failed or never-started runs.
+// budgets raising HangError, golden deadlock and hang dumps, engine
+// destruction safety around failed or never-started runs, and poisoned
+// shutdown unwinding parked stacks on both execution backends.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 
@@ -207,6 +209,119 @@ TEST(Supervision, EngineDestructsCleanlyAfterBodyError) {
     EXPECT_THROW(eng.run(), MpiError);
   }
 }
+
+// --- poisoned shutdown: parked stacks unwind on both backends --------------
+
+class BackendShutdownTest : public ::testing::TestWithParam<EngineBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == EngineBackend::kFiber &&
+        resolve_backend(EngineBackend::kFiber) != EngineBackend::kFiber) {
+      GTEST_SKIP() << "fibers compiled out (TSan build)";
+    }
+  }
+  EngineOptions opts() const {
+    EngineOptions o;
+    o.backend = GetParam();
+    return o;
+  }
+};
+
+// Counts live objects on parked location stacks; atomic because on the
+// thread backend the unwinds run concurrently during shutdown.
+struct Sentinel {
+  explicit Sentinel(std::atomic<int>* counter) : n(counter) { ++*n; }
+  ~Sentinel() { --*n; }
+  std::atomic<int>* n;
+};
+
+TEST_P(BackendShutdownTest, ParkedStacksUnwindBeforeDeadlockErrorLeavesRun) {
+  std::atomic<int> alive{0};
+  Engine eng(opts());
+  for (int i = 0; i < 3; ++i) {
+    eng.add_location("parked " + std::to_string(i), [&](Context& c) {
+      Sentinel s(&alive);
+      c.block("recv");  // never woken
+    });
+  }
+  EXPECT_THROW(eng.run(), DeadlockError);
+  // run() guarantees all location stacks are unwound on every exit path,
+  // so the destructors of parked frames have already run here.
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST_P(BackendShutdownTest, ParkedStacksUnwindAfterHang) {
+  std::atomic<int> alive{0};
+  EngineOptions o = opts();
+  o.yield_limit = 100;
+  Engine eng(o);
+  eng.add_location("poller", [](Context& c) {
+    for (;;) c.yield();
+  });
+  eng.add_location("parked", [&](Context& c) {
+    Sentinel s(&alive);
+    c.block("recv");
+  });
+  EXPECT_THROW(eng.run(), HangError);
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST_P(BackendShutdownTest, NeverRunEngineDestructsWithUnstartedLocations) {
+  // Without run() no body ever starts, so there is nothing to unwind —
+  // but the backend still has to release unstarted fibers / parked threads.
+  std::atomic<int> alive{0};
+  for (int i = 0; i < 4; ++i) {
+    Engine eng(opts());
+    eng.add_location("never runs", [&](Context& c) {
+      Sentinel s(&alive);
+      c.block("x");
+    });
+  }
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST_P(BackendShutdownTest, BodySwallowingUnwindSignalStillShutsDown) {
+  // A body that absorbs the shutdown unwind (catch (...)) and returns
+  // normally must not wedge the teardown.
+  std::atomic<int> swallowed{0};
+  Engine eng(opts());
+  eng.add_location("swallower", [&](Context& c) {
+    try {
+      c.block("recv");
+    } catch (...) {
+      ++swallowed;
+    }
+  });
+  eng.add_location("other", [](Context& c) { c.block("recv"); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+  EXPECT_EQ(swallowed.load(), 1);
+}
+
+TEST_P(BackendShutdownTest, ContextCallsKeepThrowingOncePoisoned) {
+  // After the first unwind signal is swallowed, every further Context call
+  // throws again, so a retry loop cannot keep a poisoned location alive.
+  std::atomic<int> attempts{0};
+  Engine eng(opts());
+  eng.add_location("stubborn", [&](Context& c) {
+    for (;;) {
+      try {
+        c.block("recv");
+      } catch (...) {
+        if (++attempts >= 3) throw;
+      }
+    }
+  });
+  eng.add_location("other", [](Context& c) { c.block("recv"); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendShutdownTest,
+    ::testing::Values(EngineBackend::kFiber, EngineBackend::kThread),
+    [](const ::testing::TestParamInfo<EngineBackend>& pinfo) {
+      return std::string(to_string(pinfo.param));
+    });
 
 }  // namespace
 }  // namespace ats::simt
