@@ -3,18 +3,29 @@
 // lenient load plus a degradation-tolerant analysis.
 //
 //   ats_validate [--strict] <trace-file>
+//   ats_validate --golden <dir> [--regen]
+//
+// The --golden mode maintains the golden-trace regression corpus
+// (tests/golden/): one canonical trace plus its expected severity dump per
+// registry property.  Without --regen it re-simulates every property and
+// compares both artifacts byte-for-byte — any drift in the simulator, the
+// trace format, or the analyzer fails the check.  Backend parity makes the
+// same corpus valid for the fiber and thread engines, so the CI backend
+// matrix covers both.
 //
 // Exit codes:
-//   0  the file is pristine: every record parsed, the analysis saw no
-//      anomalies;
-//   1  the file is damaged but recoverable: diagnostics and/or data-quality
-//      anomalies were reported, and the surviving events were analysed;
+//   0  the file is pristine / the golden corpus matches;
+//   1  the file is damaged but recoverable, or the corpus drifted;
 //   2  the file is unreadable (missing, bad header, or --strict rejected it).
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "analyzer/analyzer.hpp"
+#include "gen/registry.hpp"
 #include "report/cube_view.hpp"
 #include "trace/trace_io.hpp"
 
@@ -22,19 +33,79 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: ats_validate [--strict] <trace-file>\n"
+    "       ats_validate --golden <dir> [--regen]\n"
     "\n"
     "Validates a serialised ATS trace against docs/TRACE_FORMAT.md.\n"
     "\n"
     "  --strict   stop at the first malformed record instead of recovering\n"
+    "  --golden   check (or with --regen, rewrite) the golden-trace corpus\n"
+    "  --regen    regenerate the golden corpus instead of checking it\n"
     "  --help     show this message\n"
     "\n"
-    "exit status: 0 pristine, 1 recovered with diagnostics, 2 unreadable\n";
+    "exit status: 0 pristine/matching, 1 recovered or drifted, 2 unreadable\n";
+
+using namespace ats;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The canonical run for one golden entry: positive parameters, default
+/// cost models and engine seed, four ranks unless the property needs more.
+trace::Trace golden_trace(const gen::PropertyDef& def) {
+  gen::RunConfig cfg;
+  cfg.nprocs = std::max(def.min_procs, 4);
+  return gen::run_single_property(def, def.positive, cfg);
+}
+
+int run_golden(const std::string& dir, bool regen) {
+  const auto& reg = gen::Registry::instance();
+  std::size_t drifted = 0;
+  if (regen) std::filesystem::create_directories(dir);
+  for (const std::string& name : reg.names()) {
+    const gen::PropertyDef& def = reg.find(name);
+    const trace::Trace tr = golden_trace(def);
+    std::ostringstream trace_os;
+    tr.save(trace_os);
+    const analyze::AnalysisResult result = analyze::analyze(tr);
+    const std::string expected = report::severity_csv(result, tr);
+
+    const std::string trace_path = dir + "/" + name + ".trace";
+    const std::string expected_path = dir + "/" + name + ".expected";
+    if (regen) {
+      std::ofstream(trace_path, std::ios::binary) << trace_os.str();
+      std::ofstream(expected_path, std::ios::binary) << expected;
+      std::cout << "wrote " << trace_path << "\n";
+      continue;
+    }
+    if (read_file(trace_path) != trace_os.str()) {
+      std::cout << "DRIFT " << name << ": trace differs from " << trace_path
+                << "\n";
+      ++drifted;
+    }
+    if (read_file(expected_path) != expected) {
+      std::cout << "DRIFT " << name << ": analysis differs from "
+                << expected_path << "\n";
+      ++drifted;
+    }
+  }
+  if (!regen) {
+    std::cout << reg.names().size() << " golden entries, " << drifted
+              << " drifted\n";
+  }
+  return drifted == 0 ? 0 : 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace ats;
   bool strict = false;
+  bool golden = false;
+  bool regen = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,6 +115,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--golden") {
+      golden = true;
+    } else if (arg == "--regen") {
+      regen = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n" << kUsage;
       return 2;
@@ -54,9 +129,18 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty()) {
+  if (path.empty() || (regen && !golden)) {
     std::cerr << kUsage;
     return 2;
+  }
+
+  if (golden) {
+    try {
+      return run_golden(path, regen);
+    } catch (const ats::Error& e) {
+      std::cerr << "ats_validate: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   std::ifstream in(path);

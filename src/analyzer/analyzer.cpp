@@ -458,7 +458,11 @@ void Replay::on_recv(const trace::Event& e) {
   if (!in_p2p) return;  // recv completion outside any P2P region: skip
 
   if (send_t > e.t) ++quality_.skewed_messages;
-  const VDur wait = clamp_wait(earlier(send_t, e.t) - recv_enter);
+  // A send that predates the receive posting is the *well-tuned* case (the
+  // message was ready before anyone asked): a negative interval here is
+  // expected, not a clock anomaly — skew on this pair is already covered by
+  // the completed-before-send check above.
+  const VDur wait = non_negative(earlier(send_t, e.t) - recv_enter);
   if (wait > VDur::zero()) {
     // Wrong order: another message for us was already under way before the
     // one we insisted on receiving was even sent.  The multiset is ordered,

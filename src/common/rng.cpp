@@ -58,4 +58,21 @@ double Rng::next_in(double lo, double hi) {
   return lo + (hi - lo) * next_double();
 }
 
+SplitSeed SplitSeed::child(std::string_view label) const {
+  // FNV-1a over the label, offset by the parent value, then a SplitMix64
+  // finalisation pass so nearby parents / similar labels decorrelate.
+  std::uint64_t h = v_ ^ 0xcbf29ce484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = h;
+  return SplitSeed(splitmix64(state));
+}
+
+SplitSeed SplitSeed::child(std::uint64_t index) const {
+  std::uint64_t state = v_ ^ ((index + 1) * 0x9e3779b97f4a7c15ULL);
+  return SplitSeed(splitmix64(state));
+}
+
 }  // namespace ats

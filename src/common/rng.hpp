@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace ats {
 
@@ -44,6 +45,38 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
+};
+
+/// A splittable seed: one root value from which every subsystem derives its
+/// own, statistically independent sub-seed by *name* (and, when a subsystem
+/// needs a family of seeds, by index).
+///
+/// This is the single seed-plumbing mechanism of the suite.  The fuzz
+/// harness (src/proptest) hands one master seed to a run; the trace
+/// FaultInjector, the mpisim RankFaultPlan drop streams, the engine RNG and
+/// the SupervisedRunner's retry perturbation all derive their streams from
+/// it via labelled children, so a single 64-bit value reproduces an entire
+/// composite scenario — faults, schedules and retries included.
+///
+/// Derivation is pure hashing (FNV-1a over the label, SplitMix64
+/// finalisation), so children are cheap, order-independent and stable
+/// across platforms; distinct labels or indices give well-separated seeds.
+class SplitSeed {
+ public:
+  explicit SplitSeed(std::uint64_t root) : v_(root) {}
+
+  /// Sub-seed for a named subsystem ("engine", "trace-faults", ...).
+  SplitSeed child(std::string_view label) const;
+  /// Sub-seed `index` within this seed's family (retry attempts, ranks...).
+  SplitSeed child(std::uint64_t index) const;
+
+  std::uint64_t value() const { return v_; }
+
+  /// Generator seeded from this seed (stream semantics as Rng's).
+  Rng rng(std::uint64_t stream = 0) const { return Rng(v_, stream); }
+
+ private:
+  std::uint64_t v_;
 };
 
 }  // namespace ats

@@ -43,7 +43,7 @@ std::string InjectionReport::str() const {
 }
 
 FaultInjector::FaultInjector(const FaultConfig& config)
-    : cfg_(config), rng_(config.seed, /*stream=*/0xFA17) {}
+    : cfg_(config), rng_(SplitSeed(config.seed).child("fault-injector").rng()) {}
 
 namespace {
 
@@ -235,7 +235,7 @@ std::string FaultInjector::corrupt_text(const std::string& text) {
 }
 
 FaultConfig FaultInjector::random_config(std::uint64_t seed) {
-  Rng r(seed, /*stream=*/0xC0FF);
+  Rng r = SplitSeed(seed).child("fault-config").rng();
   FaultConfig c;
   c.seed = seed;
   c.drop_event = r.next_double() * 0.05;

@@ -112,8 +112,11 @@ void World::arm_faults(const RankFaultPlan& plan) {
         st.drop_sends = true;
         st.drop_from = f.at;
         st.drop_probability = f.probability;
+        // One independent stream per rank, derived from the plan seed via
+        // the suite-wide splittable PRNG (common/rng.hpp).
         st.drop_rng = std::make_unique<Rng>(
-            plan.seed, static_cast<std::uint64_t>(f.rank));
+            SplitSeed(plan.seed).child("drop-sends").rng(
+                static_cast<std::uint64_t>(f.rank)));
         break;
     }
   }

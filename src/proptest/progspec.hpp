@@ -1,0 +1,124 @@
+// Randomized composite-program specifications for the metamorphic fuzzing
+// harness (DESIGN.md §10).
+//
+// The paper's thesis is that programs with *known* properties certify a
+// performance tool.  A ProgramSpec pushes that idea to scale: it is a
+// compact, fully deterministic description of one synthetic scenario — a
+// property mix, rank/thread counts, a work distribution, optional runtime
+// and trace faults — from which a single 64-bit master seed (via
+// ats::SplitSeed) derives every sub-seed in the pipeline.  Specs serialise
+// to self-contained `.ats-repro` text files, so every fuzz failure becomes
+// a replayable regression (tests/corpus/) and the delta-debugging shrinker
+// (shrink.hpp) can minimise them field by field.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+
+namespace ats::proptest {
+
+/// Shape of the generated program.
+enum class ProgramMode : std::uint8_t {
+  kSingle,  ///< one property function (the paper's §3.2 generated program)
+  kMix,     ///< a sequence of property functions in one program (§3.3)
+  kSplit,   ///< the split-communicator composite (Figs. 3.4/3.5)
+};
+
+const char* to_string(ProgramMode m);
+
+/// Runtime fault injected through mpi::RankFaultPlan (none = clean run).
+enum class SpecRankFault : std::uint8_t { kNone, kCrash, kStall, kDropSends };
+
+const char* to_string(SpecRankFault f);
+
+/// Trace corruption class exercised through faults::FaultInjector.  One
+/// class per spec keeps the oracle semantics sharp (see oracle.hpp).
+enum class SpecTraceFault : std::uint8_t {
+  kNone,
+  kDrop,       ///< events removed (structural; must be diagnosed)
+  kDuplicate,  ///< events recorded twice (structural; must be diagnosed)
+  kReorder,    ///< adjacent same-location events swapped
+  kClockSkew,  ///< constant per-location timestamp offsets
+  kJitter,     ///< random per-event timestamp offsets
+  kRecord,     ///< serialised record lines garbled
+  kTruncate,   ///< serialised text cut short
+  kMixed,      ///< a moderate blend of everything (random_config)
+};
+
+const char* to_string(SpecTraceFault f);
+
+/// One generated program, fully determined by its fields.  Every knob the
+/// pipeline has is derived from `seed` via SplitSeed children, so the spec
+/// *is* the reproduction: same fields, same run, same trace, same analysis.
+struct ProgramSpec {
+  std::uint64_t seed = 1;  ///< master seed; derives engine/fault sub-seeds
+
+  ProgramMode mode = ProgramMode::kSingle;
+  /// Primary property function (registry name).  Unused for kSplit.
+  std::string property = "late_sender";
+  /// Additional members for kMix, run after the primary, in order.
+  std::vector<std::string> mix;
+  /// Run the primary's canonical *negative* configuration (severity ~ 0).
+  bool negative = false;
+
+  int nprocs = 4;
+  int repeats = 2;
+  int nthreads = 2;  ///< OpenMP team size, where the property takes one
+
+  /// Base computation per phase, microseconds (param "basework"/"work",
+  /// distribution low end).
+  std::int64_t basework_us = 10'000;
+  /// The property's delay knob, microseconds ("extrawork", "holdwork",
+  /// "serialwork", ..., distribution high end).  Severity must be monotone
+  /// in this value — the central metamorphic oracle.
+  std::int64_t delay_us = 50'000;
+
+  SpecRankFault rank_fault = SpecRankFault::kNone;
+  int fault_rank = 0;  ///< target rank for rank_fault
+
+  SpecTraceFault trace_fault = SpecTraceFault::kNone;
+
+  // ---- serialisation (.ats-repro) --------------------------------------
+  /// Self-contained text form; round-trips through parse().
+  std::string str() const;
+  /// Parses the text form; throws UsageError with a line-tagged message on
+  /// malformed input.  Unknown keys are rejected (a repro must not rot
+  /// silently).
+  static ProgramSpec parse(const std::string& text);
+  static ProgramSpec load_file(const std::string& path);
+  void save_file(const std::string& path) const;
+
+  /// One-line human summary ("seed 42 single late_sender np=4 ...").
+  std::string summary() const;
+
+  /// Number of fields that differ from the minimal baseline spec for the
+  /// same property (mode single, no mix, no faults, minimal nprocs,
+  /// repeats 1, canonical work/delay).  The shrinker minimises this.
+  int complexity() const;
+
+  bool operator==(const ProgramSpec& other) const = default;
+};
+
+/// The random composite-program generator: field values are drawn from the
+/// "gen" child stream of `seed`, so the mapping seed -> spec is stable
+/// across platforms and runs.
+ProgramSpec random_spec(std::uint64_t seed);
+
+/// Parameter map for one registry member of the spec's program: canonical
+/// positive (or negative) parameters with the spec's repeats / nthreads /
+/// basework / delay applied to the parameters the property declares.
+gen::ParamMap params_for(const gen::PropertyDef& def, const ProgramSpec& spec);
+
+/// Name of `def`'s scalar delay parameter ("extrawork", "holdwork", ...);
+/// empty when the property's knob is a distribution ("df") or it has none.
+std::string delay_param(const gen::PropertyDef& def);
+
+/// True when the spec's primary property has any delay knob (scalar or
+/// distribution) — the precondition for the monotonicity oracle.
+bool has_delay_knob(const gen::PropertyDef& def);
+
+}  // namespace ats::proptest

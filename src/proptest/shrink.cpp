@@ -1,0 +1,127 @@
+#include "proptest/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ats::proptest {
+
+namespace {
+
+/// All single-step simplifications of `s`, most aggressive first, so the
+/// greedy pass sheds whole dimensions (mode, faults) before polishing
+/// scalars.
+std::vector<ProgramSpec> candidates(const ProgramSpec& s) {
+  const auto& reg = gen::Registry::instance();
+  std::vector<ProgramSpec> out;
+  auto push = [&](ProgramSpec c) { out.push_back(std::move(c)); };
+
+  if (s.mode != ProgramMode::kSingle) {
+    ProgramSpec c = s;
+    c.mode = ProgramMode::kSingle;
+    c.mix.clear();
+    if (!reg.contains(c.property)) c.property = "late_sender";
+    push(std::move(c));
+  }
+  for (std::size_t i = 0; i < s.mix.size(); ++i) {
+    ProgramSpec c = s;
+    c.mix.erase(c.mix.begin() + static_cast<std::ptrdiff_t>(i));
+    push(std::move(c));
+  }
+  // A mix whose primary is innocent may fail because of a member: try
+  // promoting each member to primary (keeps the program single-property).
+  if (s.mode == ProgramMode::kMix) {
+    for (const auto& m : s.mix) {
+      ProgramSpec c = s;
+      c.mode = ProgramMode::kSingle;
+      c.property = m;
+      c.mix.clear();
+      push(std::move(c));
+    }
+  }
+  if (s.trace_fault != SpecTraceFault::kNone) {
+    ProgramSpec c = s;
+    c.trace_fault = SpecTraceFault::kNone;
+    push(std::move(c));
+  }
+  if (s.rank_fault != SpecRankFault::kNone) {
+    ProgramSpec c = s;
+    c.rank_fault = SpecRankFault::kNone;
+    c.fault_rank = 0;
+    push(std::move(c));
+  }
+  if (s.negative) {
+    ProgramSpec c = s;
+    c.negative = false;
+    push(std::move(c));
+  }
+  {
+    int min_procs = s.mode == ProgramMode::kSplit ? 4 : 1;
+    if (s.mode != ProgramMode::kSplit && reg.contains(s.property)) {
+      min_procs = reg.find(s.property).min_procs;
+      for (const auto& m : s.mix) {
+        if (reg.contains(m)) {
+          min_procs = std::max(min_procs, reg.find(m).min_procs);
+        }
+      }
+    }
+    if (s.nprocs > min_procs) {
+      ProgramSpec c = s;
+      c.nprocs = min_procs;
+      push(std::move(c));
+      if (s.fault_rank >= min_procs) {
+        // Keep the fault on a live rank when shrinking the world.
+        out.back().fault_rank = min_procs - 1;
+      }
+    }
+  }
+  if (s.repeats != 1) {
+    ProgramSpec c = s;
+    c.repeats = 1;
+    push(std::move(c));
+  }
+  if (s.nthreads != 2) {
+    ProgramSpec c = s;
+    c.nthreads = 2;
+    push(std::move(c));
+  }
+  if (s.basework_us != 10'000) {
+    ProgramSpec c = s;
+    c.basework_us = 10'000;
+    push(std::move(c));
+  }
+  if (s.delay_us != 50'000) {
+    ProgramSpec c = s;
+    c.delay_us = 50'000;
+    push(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_spec(const ProgramSpec& start, const FailPredicate& fails,
+                          const ShrinkOptions& options) {
+  ShrinkOutcome out;
+  out.spec = start;
+  require(static_cast<bool>(fails), "shrink: null predicate");
+
+  bool shrunk = true;
+  while (shrunk && out.evaluations < options.max_evaluations) {
+    shrunk = false;
+    ++out.rounds;
+    for (ProgramSpec& cand : candidates(out.spec)) {
+      if (out.evaluations >= options.max_evaluations) break;
+      if (cand.complexity() >= out.spec.complexity()) continue;
+      ++out.evaluations;
+      if (!fails(cand)) continue;
+      out.spec = std::move(cand);
+      shrunk = true;
+      break;  // restart from the simpler spec's candidate list
+    }
+  }
+  return out;
+}
+
+}  // namespace ats::proptest

@@ -1,0 +1,41 @@
+// Delta-debugging spec shrinker (DESIGN.md §10).
+//
+// When a fuzzed ProgramSpec violates an oracle, the raw spec is rarely the
+// story: a four-property mix on eight ranks with a trace fault usually
+// fails for one property and one knob.  shrink_spec greedily simplifies the
+// spec field by field — drop mix members, clear faults, collapse to single
+// mode, restore canonical counts and work values — re-checking the failure
+// predicate after each candidate and keeping only simplifications that
+// still fail.  The result is the minimal repro written to tests/corpus/.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "proptest/progspec.hpp"
+
+namespace ats::proptest {
+
+/// Returns true when `spec` still exhibits the failure being minimised.
+/// shrink_spec calls this on every candidate; make it deterministic.
+using FailPredicate = std::function<bool(const ProgramSpec&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (each may simulate several runs).
+  std::size_t max_evaluations = 200;
+};
+
+struct ShrinkOutcome {
+  ProgramSpec spec;               ///< the minimal failing spec found
+  std::size_t evaluations = 0;    ///< predicate calls spent
+  std::size_t rounds = 0;         ///< greedy passes until a fixpoint
+};
+
+/// Minimises `start` (which must satisfy `fails`) under the predicate.
+/// Greedy fixpoint: each round proposes every single-field simplification;
+/// a candidate is kept iff it lowers ProgramSpec::complexity() and still
+/// fails.  Deterministic for a deterministic predicate.
+ShrinkOutcome shrink_spec(const ProgramSpec& start, const FailPredicate& fails,
+                          const ShrinkOptions& options = {});
+
+}  // namespace ats::proptest

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/strutil.hpp"
 
 namespace ats::runner {
@@ -168,7 +169,14 @@ ExperimentRow SupervisedRunner::run_cell(const ExperimentPlan& plan,
   ExperimentRow row;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (opt_.retry.perturb_seed && attempt > 1) {
-      eng.seed = plan.config.engine.seed + static_cast<std::uint64_t>(attempt - 1);
+      // Retry seeds are derived, not incremented: the splittable PRNG keeps
+      // them well-separated from the base seed (and from each other), and a
+      // fuzz master seed that chose the base engine seed deterministically
+      // reproduces every retry's schedule too.
+      eng.seed = SplitSeed(plan.config.engine.seed)
+                     .child("retry")
+                     .child(static_cast<std::uint64_t>(attempt - 1))
+                     .value();
     }
     row = gen::run_experiment_cell(p, def, value);
     row.attempts = attempt;

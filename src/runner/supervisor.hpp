@@ -30,9 +30,9 @@ struct RetryPolicy {
   /// Total simulation attempts per cell (>= 1).  A cell whose outcome is
   /// still non-kOk after the last attempt keeps that outcome.
   int max_attempts = 1;
-  /// Bump the engine seed by the attempt number on each retry, so a retry
-  /// explores a different deterministic schedule instead of replaying the
-  /// identical failure.
+  /// Derive a fresh engine seed per retry (SplitSeed child of the base
+  /// seed, keyed by attempt number), so a retry explores a different
+  /// deterministic schedule instead of replaying the identical failure.
   bool perturb_seed = false;
 };
 

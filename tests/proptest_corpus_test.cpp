@@ -1,0 +1,52 @@
+// Replays the committed seed corpus (tests/corpus/*.ats-repro) through the
+// full oracle battery.  Every file is a once-interesting spec — a shrunk
+// fuzz repro or a hand-picked boundary case — kept as a permanent
+// regression: specs that ever found (or nearly found) a bug must stay
+// violation-free forever after the fix.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "proptest/oracle.hpp"
+
+namespace ats {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> out;
+  const std::filesystem::path dir = ATS_CORPUS_DIR;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ats-repro") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Corpus, IsPresent) {
+  EXPECT_GE(corpus_files().size(), 5u)
+      << "tests/corpus/ lost its .ats-repro seed files";
+}
+
+TEST(Corpus, ReplaysWithoutViolations) {
+  for (const auto& path : corpus_files()) {
+    const proptest::ProgramSpec spec =
+        proptest::ProgramSpec::load_file(path.string());
+    const proptest::CheckResult r = proptest::check_spec(spec);
+    EXPECT_TRUE(r.ok()) << path.filename().string() << ": " << spec.summary()
+                        << "\n"
+                        << r.str();
+  }
+}
+
+TEST(Corpus, SpecsRoundTripThroughSerialisation) {
+  for (const auto& path : corpus_files()) {
+    const proptest::ProgramSpec spec =
+        proptest::ProgramSpec::load_file(path.string());
+    EXPECT_EQ(proptest::ProgramSpec::parse(spec.str()), spec)
+        << path.filename().string();
+  }
+}
+
+}  // namespace
+}  // namespace ats

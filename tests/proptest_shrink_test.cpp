@@ -1,0 +1,109 @@
+// Tests for the delta-debugging spec shrinker: a synthetic bug planted in
+// a messy spec must reduce to a minimal repro of bounded complexity, the
+// shrink must be deterministic, and the result must still satisfy the
+// failure predicate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "proptest/shrink.hpp"
+
+namespace ats {
+namespace {
+
+using proptest::ProgramMode;
+using proptest::ProgramSpec;
+using proptest::ShrinkOutcome;
+using proptest::SpecRankFault;
+using proptest::SpecTraceFault;
+
+/// A deliberately messy spec: every field diverges from the baseline.
+ProgramSpec messy_spec() {
+  ProgramSpec s;
+  s.seed = 99;
+  s.mode = ProgramMode::kMix;
+  s.property = "late_sender";
+  s.mix = {"wait_at_barrier", "early_reduce", "late_broadcast"};
+  s.nprocs = 8;
+  s.repeats = 3;
+  s.nthreads = 4;
+  s.basework_us = 7'000;
+  s.delay_us = 90'000;
+  s.rank_fault = SpecRankFault::kStall;
+  s.fault_rank = 5;
+  s.trace_fault = SpecTraceFault::kRecord;
+  return s;
+}
+
+TEST(Shrink, SyntheticBugReducesToMinimalRepro) {
+  // The planted "bug": any spec with a record-level trace fault on >= 3
+  // ranks fails.  Everything else about the messy spec is noise the
+  // shrinker must strip.
+  const auto fails = [](const ProgramSpec& s) {
+    return s.trace_fault == SpecTraceFault::kRecord && s.nprocs >= 3;
+  };
+  const ProgramSpec start = messy_spec();
+  ASSERT_TRUE(fails(start));
+  const ShrinkOutcome out = proptest::shrink_spec(start, fails);
+  EXPECT_TRUE(fails(out.spec));
+  // The repro keeps only what the bug needs: the trace fault, and a rank
+  // count held above the minimum by the predicate.
+  EXPECT_LE(out.spec.complexity(), 3);
+  EXPECT_EQ(out.spec.mode, ProgramMode::kSingle);
+  EXPECT_TRUE(out.spec.mix.empty());
+  EXPECT_EQ(out.spec.trace_fault, SpecTraceFault::kRecord);
+  EXPECT_EQ(out.spec.rank_fault, SpecRankFault::kNone);
+  EXPECT_EQ(out.spec.repeats, 1);
+  EXPECT_GT(out.rounds, 0u);
+  EXPECT_GT(out.evaluations, 0u);
+}
+
+TEST(Shrink, IsDeterministic) {
+  const auto fails = [](const ProgramSpec& s) {
+    return s.trace_fault == SpecTraceFault::kRecord && s.nprocs >= 3;
+  };
+  const ShrinkOutcome a = proptest::shrink_spec(messy_spec(), fails);
+  const ShrinkOutcome b = proptest::shrink_spec(messy_spec(), fails);
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Shrink, PromotesTheGuiltyMixMember) {
+  // The bug lives in a mix member, not the primary: the shrinker's
+  // member-promotion move must isolate it as a single-property spec.
+  const auto fails = [](const ProgramSpec& s) {
+    if (s.property == "early_reduce") return true;
+    return std::find(s.mix.begin(), s.mix.end(), "early_reduce") !=
+           s.mix.end();
+  };
+  const ShrinkOutcome out = proptest::shrink_spec(messy_spec(), fails);
+  EXPECT_EQ(out.spec.mode, ProgramMode::kSingle);
+  EXPECT_EQ(out.spec.property, "early_reduce");
+  EXPECT_TRUE(out.spec.mix.empty());
+  EXPECT_LE(out.spec.complexity(), 1);
+}
+
+TEST(Shrink, RespectsEvaluationBudget) {
+  const auto fails = [](const ProgramSpec&) { return true; };
+  proptest::ShrinkOptions opt;
+  opt.max_evaluations = 5;
+  const ShrinkOutcome out = proptest::shrink_spec(messy_spec(), fails);
+  const ShrinkOutcome bounded =
+      proptest::shrink_spec(messy_spec(), fails, opt);
+  EXPECT_LE(bounded.evaluations, 5u);
+  EXPECT_GE(bounded.spec.complexity(), out.spec.complexity());
+}
+
+TEST(Shrink, KeepsFaultRankOnALiveRank) {
+  const auto fails = [](const ProgramSpec& s) {
+    return s.rank_fault == SpecRankFault::kStall;
+  };
+  ProgramSpec start = messy_spec();
+  start.fault_rank = 7;
+  const ShrinkOutcome out = proptest::shrink_spec(start, fails);
+  EXPECT_EQ(out.spec.rank_fault, SpecRankFault::kStall);
+  EXPECT_LT(out.spec.fault_rank, out.spec.nprocs);
+}
+
+}  // namespace
+}  // namespace ats
