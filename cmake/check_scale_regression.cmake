@@ -1,0 +1,78 @@
+# Weak-scale regression gate (ISSUE 6, TAB-WS).
+#
+# Compares a fresh bounded sweep (BENCH_scale.smoke.json, produced by the
+# bench_weak_scale_smoke ctest entry) against the checked-in full-sweep
+# baseline (BENCH_scale.json at the repository root) and fails when
+# bytes/location regresses by more than 25% at any rank count both files
+# cover.  bytes/location is the metric the pooled-stack + spill work
+# optimises, and unlike events/sec it is stable across CI host speeds.
+#
+# Usage:
+#   cmake -DSMOKE=<path/to/BENCH_scale.smoke.json> \
+#         -DBASELINE=<path/to/BENCH_scale.json> \
+#         -P cmake/check_scale_regression.cmake
+
+if(NOT DEFINED SMOKE OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR "usage: cmake -DSMOKE=<smoke.json> -DBASELINE=<baseline.json> -P check_scale_regression.cmake")
+endif()
+if(NOT EXISTS "${SMOKE}")
+  message(FATAL_ERROR "smoke sweep not found: ${SMOKE}")
+endif()
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR "checked-in baseline not found: ${BASELINE}")
+endif()
+
+file(READ "${SMOKE}" smoke_json)
+file(READ "${BASELINE}" base_json)
+
+# Index the baseline points by rank count.
+string(JSON base_count LENGTH "${base_json}" points)
+math(EXPR base_last "${base_count} - 1")
+
+string(JSON smoke_count LENGTH "${smoke_json}" points)
+math(EXPR smoke_last "${smoke_count} - 1")
+
+set(checked 0)
+foreach(i RANGE ${smoke_last})
+  string(JSON n GET "${smoke_json}" points ${i} n)
+  string(JSON smoke_bpl GET "${smoke_json}" points ${i} bytes_per_loc)
+
+  # Below ~1k ranks the VmHWM page granularity dominates bytes/location and
+  # run-to-run noise exceeds the gate threshold; only gate the larger Ns.
+  if(n LESS 1024)
+    message(STATUS "N=${n}: below gating threshold (1024 ranks), skipped")
+    continue()
+  endif()
+
+  # Find the same N in the baseline; the smoke sweep is a prefix of the
+  # full sweep so missing Ns are not an error.
+  set(base_bpl "")
+  foreach(j RANGE ${base_last})
+    string(JSON bn GET "${base_json}" points ${j} n)
+    if(bn EQUAL n)
+      string(JSON base_bpl GET "${base_json}" points ${j} bytes_per_loc)
+      break()
+    endif()
+  endforeach()
+  if(base_bpl STREQUAL "")
+    message(STATUS "N=${n}: no baseline point, skipped")
+    continue()
+  endif()
+
+  # Allow up to 1.25x the baseline.  Integer math: smoke*100 <= base*125.
+  math(EXPR lhs "${smoke_bpl} * 100")
+  math(EXPR rhs "${base_bpl} * 125")
+  if(lhs GREATER rhs)
+    message(FATAL_ERROR
+      "weak-scale regression at N=${n}: bytes/location ${smoke_bpl} vs "
+      "baseline ${base_bpl} (>25% worse). If intentional, re-run "
+      "bench/tab_weak_scale and refresh BENCH_scale.json.")
+  endif()
+  message(STATUS "N=${n}: bytes/location ${smoke_bpl} (baseline ${base_bpl}) ok")
+  math(EXPR checked "${checked} + 1")
+endforeach()
+
+if(checked EQUAL 0)
+  message(FATAL_ERROR "no overlapping rank counts between smoke and baseline")
+endif()
+message(STATUS "weak-scale gate passed: ${checked} point(s) within 1.25x of baseline")

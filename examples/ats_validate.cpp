@@ -27,6 +27,7 @@
 #include "analyzer/analyzer.hpp"
 #include "gen/registry.hpp"
 #include "report/cube_view.hpp"
+#include "trace/trace_binary.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -35,7 +36,8 @@ constexpr const char* kUsage =
     "usage: ats_validate [--strict] <trace-file>\n"
     "       ats_validate --golden <dir> [--regen]\n"
     "\n"
-    "Validates a serialised ATS trace against docs/TRACE_FORMAT.md.\n"
+    "Validates a serialised ATS trace against docs/TRACE_FORMAT.md; the\n"
+    "text and binary (§7) containers are detected by their magic bytes.\n"
     "\n"
     "  --strict   stop at the first malformed record instead of recovering\n"
     "  --golden   check (or with --regen, rewrite) the golden-trace corpus\n"
@@ -143,17 +145,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "ats_validate: cannot open " << path << "\n";
-    return 2;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      std::cerr << "ats_validate: cannot open " << path << "\n";
+      return 2;
+    }
   }
 
+  // The container (text, or binary per TRACE_FORMAT.md §7) is detected
+  // from the magic bytes; both loaders share LoadOptions/ParseDiagnostic.
   trace::LoadOptions opt;
   opt.strict = strict;
   trace::LoadResult loaded;
   try {
-    loaded = trace::load_trace(in, opt);
+    loaded = trace::load_trace_auto_file(path, opt);
   } catch (const ats::Error& e) {
     std::cerr << "ats_validate: " << e.what() << "\n";
     return 2;

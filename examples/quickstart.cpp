@@ -1,15 +1,18 @@
 // Quickstart: inject one performance property, look at the timeline, let
 // the automatic analyzer find it.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--format=text|binary]
 //
 // Runs the paper's late_sender property function on 4 simulated MPI ranks,
 // renders the Vampir-style ASCII timeline, runs the EXPERT-style analyzer,
 // and prints the ranked findings.  Also saves the trace to
-// quickstart.atstrace so other tools (see trace_analyze) can consume it.
+// quickstart.atstrace so other tools (see trace_analyze) can consume it —
+// in the text container by default, or the packed binary container
+// (docs/TRACE_FORMAT.md §7) with --format=binary.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "analyzer/analyzer.hpp"
 #include "core/properties.hpp"
@@ -17,8 +20,19 @@
 #include "report/cube_view.hpp"
 #include "report/timeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ats;
+
+  bool binary = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format=binary") {
+      binary = true;
+    } else if (arg != "--format=text") {
+      std::cerr << "usage: quickstart [--format=text|binary]\n";
+      return 2;
+    }
+  }
 
   // 1. Run a synthetic test program: every iteration, the even ranks
   //    compute 30ms longer than the odd ranks, then each pair exchanges a
@@ -39,10 +53,17 @@ int main() {
   const analyze::AnalysisResult result = analyze::analyze(run.trace);
   std::cout << report::render_analysis(result, run.trace);
 
-  // 4. Persist the trace for out-of-process tools.
-  std::ofstream out("quickstart.atstrace");
-  run.trace.save(out);
-  std::cout << "\ntrace written to quickstart.atstrace ("
+  // 4. Persist the trace for out-of-process tools (trace_analyze and
+  //    ats_validate detect either container from the magic bytes).
+  const char* path = binary ? "quickstart.atsbin" : "quickstart.atstrace";
+  std::ofstream out(path, std::ios::binary);
+  if (binary) {
+    run.trace.save_binary(out);
+  } else {
+    run.trace.save(out);
+  }
+  std::cout << "\ntrace written to " << path << " ("
+            << (binary ? "binary" : "text") << ", "
             << run.trace.event_count() << " events)\n";
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "report/cube_view.hpp"
 #include "report/cube_xml.hpp"
 #include "report/timeline.hpp"
+#include "trace/trace_binary.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -23,12 +24,17 @@ constexpr const char* kUsage =
     "usage: trace_analyze [options] <trace-file>\n"
     "\n"
     "Replays a serialised ATS trace (docs/TRACE_FORMAT.md) through the\n"
-    "EXPERT-style analyzer and prints the property/finding report.\n"
+    "EXPERT-style analyzer and prints the property/finding report.  The\n"
+    "container (text, or binary per §7) is detected from the magic bytes.\n"
     "\n"
     "  --lenient          recover from malformed records and degraded data\n"
     "                     (prints parse diagnostics and the data-quality\n"
     "                     pane) instead of stopping at the first error\n"
     "  --xml <out.xml>    also write the severity cube as CUBE-like XML\n"
+    "  --convert <out>    re-serialise the loaded trace to <out> and exit\n"
+    "                     (no analysis); combine with --format\n"
+    "  --format <f>       output container for --convert: text | binary\n"
+    "                     (default: text)\n"
     "  --help             show this message\n";
 
 }  // namespace
@@ -38,6 +44,8 @@ int main(int argc, char** argv) {
   bool lenient = false;
   std::string path;
   std::string xml_path;
+  std::string convert_path;
+  std::string format = "text";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -52,6 +60,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       xml_path = argv[++i];
+    } else if (arg == "--convert") {
+      if (i + 1 >= argc) {
+        std::cerr << "--convert needs an output file\n" << kUsage;
+        return 2;
+      }
+      convert_path = argv[++i];
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "--format needs text or binary\n" << kUsage;
+        return 2;
+      }
+      format = argv[++i];
+      if (format != "text" && format != "binary") {
+        std::cerr << "--format must be text or binary, got '" << format
+                  << "'\n";
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n" << kUsage;
       return 2;
@@ -66,15 +91,17 @@ int main(int argc, char** argv) {
     std::cerr << kUsage;
     return 2;
   }
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
   }
   try {
     trace::LoadOptions opt;
     opt.strict = !lenient;
-    const trace::LoadResult loaded = trace::load_trace(in, opt);
+    const trace::LoadResult loaded = trace::load_trace_auto_file(path, opt);
     if (!loaded.header_ok) {
       std::cerr << "error: " << path << " is not an ATS trace\n";
       return 1;
@@ -83,6 +110,21 @@ int main(int argc, char** argv) {
       std::cerr << d.str() << "\n";
     }
     const trace::Trace& tr = loaded.trace;
+    if (!convert_path.empty()) {
+      std::ofstream out(convert_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "cannot open " << convert_path << " for writing\n";
+        return 1;
+      }
+      if (format == "binary") {
+        tr.save_binary(out);
+      } else {
+        tr.save(out);
+      }
+      std::cout << "converted " << path << " -> " << convert_path << " ("
+                << format << ", " << tr.event_count() << " events)\n";
+      return 0;
+    }
     std::cout << "loaded " << tr.event_count() << " events over "
               << tr.location_count() << " locations";
     if (loaded.records_dropped > 0) {

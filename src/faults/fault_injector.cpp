@@ -1,5 +1,6 @@
 #include "faults/fault_injector.hpp"
 
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -227,6 +228,103 @@ std::string FaultInjector::corrupt_text(const std::string& text) {
     // degradation.
     const std::size_t header_end = out.find('\n');
     if (header_end != std::string::npos && keep > header_end) {
+      out.resize(keep);
+      note(FaultKind::kTruncateFile);
+    }
+  }
+  return out;
+}
+
+std::string FaultInjector::corrupt_binary(const std::string& bin) {
+  std::string out = bin;
+  // Walk the container structure (docs/TRACE_FORMAT.md §7) far enough to
+  // find the event area; bail out unchanged if the input is malformed
+  // already (a pre-damaged file is a different experiment).
+  std::size_t pos = 16;  // magic + version + reserved
+  const auto get_u32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, out.data() + at, sizeof v);
+    return v;
+  };
+  const auto get_u64 = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, out.data() + at, sizeof v);
+    return v;
+  };
+  const auto fits = [&](std::size_t n) { return n <= out.size() - pos; };
+  if (out.size() < pos + 8) return bin;
+
+  // regions: u64 count · per region u8 kind + u32 name_len + name
+  std::uint64_t n = get_u64(pos);
+  pos += 8;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!fits(5)) return bin;
+    const std::uint32_t len = get_u32(pos + 1);
+    if (!fits(5 + len)) return bin;
+    pos += 5 + len;
+  }
+  // locations: u64 count · per loc i32 parent + u8 kind + i32 rank +
+  // i32 thread + u32 name_len + name
+  if (!fits(8)) return bin;
+  n = get_u64(pos);
+  pos += 8;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!fits(17)) return bin;
+    const std::uint32_t len = get_u32(pos + 13);
+    if (!fits(17 + len)) return bin;
+    pos += 17 + len;
+  }
+  // comms: u64 count · per comm u8 kind + u32 member_count + i32 members[]
+  // + u32 name_len + name
+  if (!fits(8)) return bin;
+  n = get_u64(pos);
+  pos += 8;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!fits(5)) return bin;
+    const std::uint64_t members = get_u32(pos + 1);
+    if (!fits(5 + 4 * members + 4)) return bin;
+    const std::uint32_t len = get_u32(pos + 5 + 4 * members);
+    if (!fits(5 + 4 * members + 4 + len)) return bin;
+    pos += 5 + 4 * members + 4 + len;
+  }
+  pos = (pos + 7) & ~std::size_t{7};  // zero padding to 8-byte alignment
+  if (!fits(8)) return bin;
+  const std::uint64_t blocks = get_u64(pos);
+  pos += 8;
+  const std::size_t event_area = pos;
+
+  // Garble event records in place.  The two corruptions are chosen to be
+  // *guaranteed* defects (the loader must diagnose every one), so the
+  // reconciliation tests can compare planted vs dropped exactly:
+  // corrupt_record writes an invalid type byte (offset 64 in the record),
+  // bogus_location an undeclared location id (offset 40).
+  constexpr std::size_t kRecord = 72;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    if (!fits(8)) break;
+    const std::uint64_t count = get_u64(pos);
+    pos += 8;
+    for (std::uint64_t i = 0; i < count && fits(kRecord); ++i, pos += kRecord) {
+      if (chance(cfg_.bogus_location)) {
+        const std::uint32_t bogus =
+            1000000 + static_cast<std::uint32_t>(rng_.next_below(1000));
+        std::memcpy(out.data() + pos + 40, &bogus, sizeof bogus);
+        note(FaultKind::kBogusLocation);
+        continue;
+      }
+      if (chance(cfg_.corrupt_record)) {
+        out[pos + 64] =
+            static_cast<char>(0xC0 + rng_.next_below(0x40));
+        note(FaultKind::kCorruptRecord);
+      }
+    }
+  }
+
+  if (cfg_.truncate_fraction > 0.0 && cfg_.truncate_fraction < 1.0) {
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(out.size()) * cfg_.truncate_fraction);
+    // Never cut into the tables: a headless file is total loss, not
+    // degradation (same policy as corrupt_text).
+    if (keep > event_area && keep < out.size()) {
       out.resize(keep);
       note(FaultKind::kTruncateFile);
     }

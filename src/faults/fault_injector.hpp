@@ -3,7 +3,8 @@
 // The paper's premise is that a performance tool must be validated on
 // inputs with *known* properties.  This module extends that idea to known
 // *defects*: a seedable FaultInjector perturbs a pristine trace — in memory
-// (event level) or on its serialised text (record level) — and reports
+// (event level) or on its serialised text or binary container (record
+// level, corrupt_text / corrupt_binary) — and reports
 // exactly how many faults of each kind it planted.  The fuzz ctest
 // (tests/fault_injection_test.cpp) then checks that the analyzer survives
 // every perturbation and that its DataQuality summary reconciles with the
@@ -91,6 +92,17 @@ class FaultInjector {
 
   /// Record-level perturbation of a serialised trace (Trace::save output).
   std::string corrupt_text(const std::string& text);
+
+  /// Record-level perturbation of a *binary* container
+  /// (Trace::save_binary output, docs/TRACE_FORMAT.md §7).  Same config
+  /// knobs and fault taxonomy as corrupt_text: corrupt_record garbles a
+  /// record's type byte (a guaranteed bad-enum defect), bogus_location
+  /// rewrites a record's location field to an undeclared id, and
+  /// truncate_fraction cuts the tail of the event area.  The header and
+  /// the string tables are never touched, mirroring corrupt_text's
+  /// header policy.  Input that is too short to hold an event area is
+  /// returned unchanged.
+  std::string corrupt_binary(const std::string& bin);
 
   const InjectionReport& report() const { return report_; }
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/vtime.hpp"
@@ -130,6 +131,14 @@ class Comm {
   std::vector<simt::LocationId> members_;
   std::string name_;
   trace::CommId trace_id_;
+
+  // rank_of is on the per-operation fast path (every Proc call resolves the
+  // caller's rank); a linear member scan made it O(comm size) — quadratic
+  // over a weak-scale run.  Comms made of consecutive locations (the
+  // overwhelmingly common case: comm_world, most splits) resolve with one
+  // subtraction; others fall back to a hash index built at construction.
+  bool contiguous_ = false;
+  std::unordered_map<simt::LocationId, int> rank_index_;
 
   // --- point-to-point matching state (indexed by destination rank) ------
   std::vector<std::deque<detail::PendingMsg>> unexpected_;

@@ -16,6 +16,19 @@ Comm::Comm(World* world, std::vector<simt::LocationId> members,
   posted_.resize(members_.size());
   probing_.resize(members_.size());
   coll_count_.assign(members_.size(), 0);
+  contiguous_ = true;
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    if (members_[i] != members_[0] + static_cast<simt::LocationId>(i)) {
+      contiguous_ = false;
+      break;
+    }
+  }
+  if (!contiguous_) {
+    rank_index_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      rank_index_.emplace(members_[i], static_cast<int>(i));
+    }
+  }
 }
 
 simt::LocationId Comm::member(int rank) const {
@@ -28,9 +41,15 @@ simt::LocationId Comm::member(int rank) const {
 }
 
 int Comm::rank_of(simt::LocationId loc) const {
-  const auto it = std::find(members_.begin(), members_.end(), loc);
-  if (it == members_.end()) return -1;
-  return static_cast<int>(it - members_.begin());
+  if (contiguous_) {
+    if (members_.empty() || loc < members_.front() ||
+        loc > members_.back()) {
+      return -1;
+    }
+    return static_cast<int>(loc - members_.front());
+  }
+  const auto it = rank_index_.find(loc);
+  return it == rank_index_.end() ? -1 : it->second;
 }
 
 // ------------------------------------------------------------------ World
@@ -208,8 +227,20 @@ MpiRunResult run_mpi(const MpiRunOptions& options,
                      const std::function<void(Proc&)>& body) {
   MpiRunResult result;
   result.trace.set_enabled(options.trace_enabled);
+  if (!options.trace_spill_path.empty()) {
+    result.trace.enable_spill(options.trace_spill_path,
+                              options.trace_spill_watermark);
+  }
   simt::Engine engine(options.engine);
   World world(engine, options.nprocs, options.cost, &result.trace);
+  // Failure dumps report the trace payload next to location states; both
+  // figures are identical across backends, keeping dumps parity-safe.
+  engine.set_resource_probe([trace = &result.trace] {
+    simt::EngineResources r;
+    r.trace_bytes = trace->memory_bytes();
+    r.spilled_bytes = trace->spilled_bytes();
+    return r;
+  });
   world.launch(body);
   world.arm_faults(options.faults);
   engine.run();

@@ -236,6 +236,13 @@ struct MpiRunOptions {
   bool trace_enabled = true;
   /// Seeded rank faults (crash / stall / drop sends); empty = clean run.
   RankFaultPlan faults{};
+  /// When non-empty, the trace streams event blocks to this file once its
+  /// resident payload exceeds trace_spill_watermark (see
+  /// Trace::enable_spill).  The returned trace is then save-only: save()/
+  /// save_binary() stream the segments back, but events_of()/merged()
+  /// throw until the saved file is reloaded.
+  std::string trace_spill_path;
+  std::size_t trace_spill_watermark = 64u << 20;  // 64 MiB
 };
 
 struct MpiRunResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "mpisim/world.hpp"
 #include "ompsim/omp.hpp"
 #include "report/cube_view.hpp"
+#include "trace/trace_binary.hpp"
 #include "trace/trace_io.hpp"
 
 namespace ats::proptest {
@@ -203,6 +205,7 @@ const char* to_string(Oracle o) {
     case Oracle::kMaskPermutation: return "mask-permutation";
     case Oracle::kBackendDifferential: return "backend-differential";
     case Oracle::kLoaderDifferential: return "loader-differential";
+    case Oracle::kFormatDifferential: return "format-differential";
     case Oracle::kCorruptionInvariant: return "corruption-invariant";
   }
   return "?";
@@ -375,6 +378,38 @@ CheckResult check_spec(const ProgramSpec& spec, const CheckOptions& options) {
                                   quality_summary(ar->quality));
   }
   const std::string pristine_csv = report::severity_csv(*ar, base.trace);
+
+  // --- format differential -----------------------------------------------
+  // The binary container (TRACE_FORMAT.md §7) must be a lossless twin of
+  // the text one: binary writer + zero-copy loader, re-serialised as text,
+  // reproduces the pristine bytes, and the analysis of the binary-loaded
+  // trace matches the pristine severity profile exactly.
+  {
+    std::ostringstream bos;
+    base.trace.save_binary(bos);
+    try {
+      const trace::LoadResult br = trace::load_trace_binary(
+          std::make_shared<const std::string>(bos.str()));
+      if (!br.ok() || !br.diagnostics.empty()) {
+        violate(Oracle::kFormatDifferential,
+                "binary loader diagnosed a pristine trace (" +
+                    std::to_string(br.records_dropped) + " dropped, " +
+                    std::to_string(br.diagnostics.size()) + " diagnostics)");
+      } else if (save_text(br.trace) != pristine) {
+        violate(Oracle::kFormatDifferential,
+                "binary -> text re-serialisation is not byte-identical");
+      } else if (report::severity_csv(analyze::analyze(br.trace, aopts),
+                                      br.trace) != pristine_csv) {
+        violate(Oracle::kFormatDifferential,
+                "analysis of the binary-loaded trace differs from the "
+                "text-pipeline result");
+      }
+    } catch (const std::exception& e) {
+      violate(Oracle::kFormatDifferential,
+              std::string("binary round-trip threw: ") +
+                  first_line(e.what()));
+    }
+  }
 
   // --- mask-permutation oracle -------------------------------------------
   {

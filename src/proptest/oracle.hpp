@@ -44,6 +44,9 @@ enum class Oracle : std::uint8_t {
   kMaskPermutation,      ///< disabled-pattern order changed the result
   kBackendDifferential,  ///< fiber and thread runs disagree
   kLoaderDifferential,   ///< strict and lenient loaders disagree
+  kFormatDifferential,   ///< binary and text containers disagree: the
+                         ///< binary writer + zero-copy loader must
+                         ///< reproduce the text pipeline bit for bit
   kCorruptionInvariant,  ///< corrupted trace crashed the pipeline or was
                          ///< silently mis-analysed
 };

@@ -31,6 +31,7 @@
 
 #include "simt/engine.hpp"
 #include "simt/fiber.hpp"
+#include "simt/stack_pool.hpp"
 
 namespace ats::simt::detail {
 
@@ -57,6 +58,11 @@ struct Location {
   std::unique_ptr<Rng> rng;
   // join bookkeeping: set while blocked in Context::join()
   std::vector<LocationId> joining;
+  // Reverse index: locations blocked in join() waiting on *this* location.
+  // Lets a finishing location wake exactly its joiners instead of scanning
+  // every location (the scan was O(locations) per finish — quadratic over
+  // a 100k-location run).
+  std::vector<LocationId> waiters;
   // supervision hook (set_resume_hook); in_hook guards re-entry when the
   // hook itself advances or yields.
   LocationBody resume_hook;
@@ -109,19 +115,30 @@ class ExecutionBackend {
 #if ATS_SIMT_HAS_FIBERS
 /// Stackful-fiber backend: all locations are fibers of the scheduler's
 /// thread; a handoff is one userspace register switch.
+///
+/// Stacks come from a StackPool and fibers are created lazily: adopt()
+/// only records the entry, the slab + fiber materialise at the first
+/// resume, and the slab is recycled the moment the fiber finishes — so at
+/// any instant the pool holds stacks for *active* locations only, and a
+/// spawned-but-idle or already-finished location costs a few hundred
+/// bytes, not a quarter-megabyte of pages.
 class FiberBackend final : public ExecutionBackend {
  public:
   FiberBackend(Engine* engine, std::size_t stack_bytes)
-      : ExecutionBackend(engine), stack_bytes_(stack_bytes) {}
+      : ExecutionBackend(engine), pool_(stack_bytes) {}
 
   void adopt(Location* loc) override;
   void resume(Location* loc) override;
   void suspend(Location* loc) override;
   void shutdown() override;
 
+  const StackPool& stack_pool() const { return pool_; }
+
  private:
   struct Slot;
-  std::size_t stack_bytes_;
+  void release_if_finished(Slot* slot);
+
+  StackPool pool_;
 };
 #endif
 

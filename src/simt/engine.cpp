@@ -140,6 +140,14 @@ void Context::join(std::span<const LocationId> children) {
       return;
     }
     l->joining.assign(children.begin(), children.end());
+    // Register on every unfinished child so maybe_wake_joiners can find
+    // this joiner without scanning all locations.
+    for (LocationId c : children) {
+      detail::Location* child = engine_->loc(c);
+      if (child->state == LocationState::kFinished) continue;
+      auto& w = child->waiters;
+      if (std::find(w.begin(), w.end(), id_) == w.end()) w.push_back(id_);
+    }
     block("join");
   }
 }
@@ -227,6 +235,11 @@ void Engine::location_main(detail::Location* l) {
   // The body driver, run inside the location's execution context by the
   // backend (fiber trampoline / location thread) each time from the top.
   l->state = LocationState::kRunning;
+  // Token is held here on both backends, so the counters need no lock.
+  ++stats_.live_locations;
+  if (stats_.live_locations > stats_.peak_live_locations) {
+    stats_.peak_live_locations = stats_.live_locations;
+  }
   bool unwound = false;
   try {
     run_resume_hook(l);
@@ -243,6 +256,7 @@ void Engine::location_main(detail::Location* l) {
   }
   l->state = LocationState::kFinished;
   ++finished_count_;
+  --stats_.live_locations;
   if (l->error && !first_error_) first_error_ = l->error;
   maybe_wake_joiners(l);
   // The backend performs the final handoff to the scheduler on return.
@@ -273,13 +287,13 @@ detail::Location* Engine::pick_next() {
 
 void Engine::maybe_wake_joiners(detail::Location* finished) {
   // A joiner whose whole join set is now finished becomes runnable with
-  // its clock advanced to the latest child end time.
-  for (auto& l : locations_) {
+  // its clock advanced to the latest child end time.  Only this location's
+  // registered waiters are examined (Context::join maintains the reverse
+  // index), so a finish costs O(own joiners), not O(all locations).
+  if (finished->waiters.empty()) return;
+  for (LocationId wid : finished->waiters) {
+    detail::Location* l = loc(wid);
     if (l->state != LocationState::kBlocked || l->joining.empty()) continue;
-    if (std::find(l->joining.begin(), l->joining.end(), finished->id) ==
-        l->joining.end()) {
-      continue;
-    }
     bool all = true;
     VTime latest = l->now;
     for (LocationId c : l->joining) {
@@ -294,9 +308,10 @@ void Engine::maybe_wake_joiners(detail::Location* finished) {
       l->now = latest;
       l->joining.clear();
       ++stats_.wakes;
-      make_runnable(l.get());
+      make_runnable(l);
     }
   }
+  finished->waiters.clear();
 }
 
 void Engine::run() {
@@ -360,6 +375,9 @@ void Engine::shutdown() {
       ++finished_count_;
     }
   }
+  // Unwound locations skipped their own decrement (they must not touch
+  // engine state on the poisoned path); everything is finished now.
+  stats_.live_locations = 0;
 }
 
 std::string Engine::state_dump(const std::string& headline) const {
@@ -372,6 +390,19 @@ std::string Engine::state_dump(const std::string& headline) const {
                                                 << ")";
     os << "\n";
   }
+  // Peak-RSS proxy: live location count (== live fiber stacks on the fiber
+  // backend) plus the trace payload when a probe is installed.  Everything
+  // here is backend-deterministic — parity tests compare dumps verbatim.
+  os << "  resources: locations=" << locations_.size() << " live="
+     << stats_.live_locations << " peak=" << stats_.peak_live_locations;
+  if (resource_probe_) {
+    const EngineResources r = resource_probe_();
+    const std::size_t total = r.trace_bytes + r.spilled_bytes;
+    os << " trace_bytes=" << r.trace_bytes << " spilled_bytes="
+       << r.spilled_bytes << " bytes/loc="
+       << (locations_.empty() ? 0 : total / locations_.size());
+  }
+  os << "\n";
   return os.str();
 }
 

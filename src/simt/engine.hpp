@@ -126,6 +126,19 @@ struct EngineStats {
   std::uint64_t yields = 0;
   std::uint64_t blocks = 0;
   std::uint64_t wakes = 0;
+  /// Locations whose body has started and not yet finished.  On the fiber
+  /// backend this equals the number of live pooled stacks, so it is the
+  /// backend-neutral peak-RSS proxy surfaced in hang/deadlock dumps.
+  std::uint64_t live_locations = 0;
+  std::uint64_t peak_live_locations = 0;
+};
+
+/// Snapshot of memory-relevant resources owned by the layers above the
+/// engine (the engine itself cannot see the trace).  Returned by the probe
+/// installed via Engine::set_resource_probe and folded into failure dumps.
+struct EngineResources {
+  std::size_t trace_bytes = 0;    ///< resident event payload bytes
+  std::size_t spilled_bytes = 0;  ///< event payload bytes spilled to disk
 };
 
 /// Handle passed to a location body; the only way a body interacts with
@@ -209,6 +222,15 @@ class Engine {
   /// before run().
   void set_resume_hook(LocationId id, LocationBody hook);
 
+  /// Installs a callback the engine polls when composing a failure dump
+  /// (deadlock/hang), so dumps can report trace memory alongside location
+  /// states.  The probe runs on the scheduler's thread with no location
+  /// holding the token.  Values must be backend-deterministic — dumps are
+  /// compared verbatim between the fiber and thread backends.
+  void set_resource_probe(std::function<EngineResources()> probe) {
+    resource_probe_ = std::move(probe);
+  }
+
   /// Runs the simulation to completion.  May be called exactly once.
   /// Throws DeadlockError when all unfinished locations are blocked and
   /// HangError when a supervision budget (EngineOptions) is exhausted; on
@@ -290,6 +312,7 @@ class Engine {
   std::vector<ReadyEntry> ready_;  // min-heap on (clock, id)
   std::size_t finished_count_ = 0;
   std::exception_ptr first_error_;
+  std::function<EngineResources()> resource_probe_;
 };
 
 }  // namespace ats::simt

@@ -157,11 +157,12 @@ void* make_initial_frame(char* stack, std::size_t bytes, Fiber* self) {
 
 #endif  // arch
 
-Fiber::Fiber(std::size_t stack_bytes, std::function<void()> entry)
-    : entry_(std::move(entry)),
-      stack_bytes_(stack_bytes < 64 * 1024 ? 64 * 1024 : stack_bytes) {
-  stack_ = std::make_unique<char[]>(stack_bytes_);
-  fiber_sp_ = make_initial_frame(stack_.get(), stack_bytes_, this);
+Fiber::Fiber(char* stack_base, std::size_t stack_bytes,
+             std::function<void()> entry)
+    : entry_(std::move(entry)), stack_(stack_base),
+      stack_bytes_(stack_bytes) {
+  assert(stack_bytes_ >= 16 * 1024 && "fiber stack too small");
+  fiber_sp_ = make_initial_frame(stack_, stack_bytes_, this);
 }
 
 Fiber::~Fiber() = default;
@@ -198,12 +199,13 @@ void trampoline(unsigned hi, unsigned lo) {
 }
 }  // namespace
 
-Fiber::Fiber(std::size_t stack_bytes, std::function<void()> entry)
-    : entry_(std::move(entry)),
-      stack_bytes_(stack_bytes < 64 * 1024 ? 64 * 1024 : stack_bytes) {
-  stack_ = std::make_unique<char[]>(stack_bytes_);
+Fiber::Fiber(char* stack_base, std::size_t stack_bytes,
+             std::function<void()> entry)
+    : entry_(std::move(entry)), stack_(stack_base),
+      stack_bytes_(stack_bytes) {
+  assert(stack_bytes_ >= 16 * 1024 && "fiber stack too small");
   getcontext(&fiber_ctx_);
-  fiber_ctx_.uc_stack.ss_sp = stack_.get();
+  fiber_ctx_.uc_stack.ss_sp = stack_;
   fiber_ctx_.uc_stack.ss_size = stack_bytes_;
   // When the trampoline returns, control goes back to the latest resume
   // point (return_ctx_ is refreshed by every swap in resume()).

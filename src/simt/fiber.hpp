@@ -63,9 +63,13 @@ namespace ats::simt {
 
 class Fiber {
  public:
-  /// Creates a fiber that will run `entry` on a fresh stack of (at least)
-  /// `stack_bytes` when first resumed.  Nothing runs until resume().
-  Fiber(std::size_t stack_bytes, std::function<void()> entry);
+  /// Creates a fiber that will run `entry` on the caller-owned stack
+  /// [stack_base, stack_base + stack_bytes) when first resumed.  Nothing
+  /// runs until resume().  The stack is borrowed (see StackPool): the
+  /// caller keeps it alive until the fiber is destroyed, and must not
+  /// recycle it while the fiber has live frames.
+  Fiber(char* stack_base, std::size_t stack_bytes,
+        std::function<void()> entry);
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
@@ -93,7 +97,7 @@ class Fiber {
   void run_entry();  // trampoline target: entry_(), then the final switch
 
   std::function<void()> entry_;
-  std::unique_ptr<char[]> stack_;
+  char* stack_;  ///< borrowed, not owned
   std::size_t stack_bytes_;
   bool started_ = false;
   bool finished_ = false;

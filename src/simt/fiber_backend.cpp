@@ -2,25 +2,51 @@
 
 #if ATS_SIMT_HAS_FIBERS
 
+#include <optional>
+#include <utility>
+
 namespace ats::simt::detail {
 
 // Fiber-per-location backend: every location is a stackful fiber of the
 // scheduler's thread, so a handoff is a single userspace register switch —
 // no mutex, no condition variable, no kernel involvement.
+//
+// Slots are lazy: the fiber (and its pooled stack slab) exist only between
+// a location's first resume and its finish.  This is what keeps a 100k-
+// location sweep inside a few hundred megabytes — the pool's live-slab
+// count tracks the engine's active locations, not its spawned ones.
 
 struct FiberBackend::Slot final : ExecSlot {
-  Slot(std::size_t stack_bytes, std::function<void()> entry)
-      : fiber(stack_bytes, std::move(entry)) {}
-  Fiber fiber;
+  explicit Slot(std::function<void()> e) : entry(std::move(e)) {}
+  std::function<void()> entry;   ///< pending body until the first resume
+  std::optional<Fiber> fiber;    ///< live between first resume and finish
+  char* slab = nullptr;          ///< pooled stack while the fiber is live
 };
 
 void FiberBackend::adopt(Location* loc) {
-  loc->exec = std::make_unique<Slot>(stack_bytes_,
-                                     [this, loc] { location_main(loc); });
+  loc->exec =
+      std::make_unique<Slot>([this, loc] { location_main(loc); });
+}
+
+void FiberBackend::release_if_finished(Slot* slot) {
+  if (slot->fiber && slot->fiber->finished()) {
+    slot->fiber.reset();
+    pool_.release(slot->slab);
+    slot->slab = nullptr;
+  }
 }
 
 void FiberBackend::resume(Location* loc) {
-  static_cast<Slot*>(loc->exec.get())->fiber.resume();
+  auto* slot = static_cast<Slot*>(loc->exec.get());
+  if (!slot->fiber) {
+    slot->slab = pool_.acquire();
+    slot->fiber.emplace(slot->slab, pool_.slab_bytes(),
+                        std::move(slot->entry));
+  }
+  slot->fiber->resume();
+  // The slab is recycled the moment the body returns: control is back on
+  // the scheduler's stack here, so no live frame can touch it.
+  release_if_finished(slot);
 }
 
 void FiberBackend::suspend(Location* loc) {
@@ -28,7 +54,7 @@ void FiberBackend::suspend(Location* loc) {
   // ShutdownSignal (or that was granted the token just as the engine
   // poisoned) must not park again.
   if (poisoned()) throw ShutdownSignal{};
-  static_cast<Slot*>(loc->exec.get())->fiber.suspend();
+  static_cast<Slot*>(loc->exec.get())->fiber->suspend();
   // Post-swap check: shutdown() resumes parked fibers exactly so that this
   // throw unwinds their stacks at the park point.
   if (poisoned()) throw ShutdownSignal{};
@@ -39,8 +65,8 @@ void FiberBackend::shutdown() {
   // post-swap check in suspend() throw ShutdownSignal at its park point;
   // location_main absorbs the signal and the fiber finishes.  The whole
   // throw/catch runs on the fiber's own stack, so unwinding parked frames
-  // (and their destructors) is ordinary exception handling.  Never-started
-  // fibers hold no frames and are simply destroyed with the engine.
+  // (and their destructors) is ordinary exception handling.  Never-resumed
+  // locations have no fiber (and no slab) at all.
   // The outer loop is defensive: unwinding must not create new parked
   // fibers (Context calls throw immediately once poisoned), but if a
   // pathological body did, another sweep would catch it.
@@ -48,9 +74,10 @@ void FiberBackend::shutdown() {
     progress = false;
     for (const auto& l : locations()) {
       auto* slot = static_cast<Slot*>(l->exec.get());
-      if (slot == nullptr) continue;
-      if (slot->fiber.started() && !slot->fiber.finished()) {
-        slot->fiber.resume();
+      if (slot == nullptr || !slot->fiber) continue;
+      if (slot->fiber->started() && !slot->fiber->finished()) {
+        slot->fiber->resume();
+        release_if_finished(slot);
         progress = true;
       }
     }

@@ -1,9 +1,35 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 
 namespace ats::trace {
+
+/// Spill-to-disk state (see enable_spill).  Event blocks are appended to a
+/// single scratch file; each flushed block is remembered as an ordered
+/// (offset, count) segment per location so savers can stream them back in
+/// recording order.  The file is a private scratch — raw native-endian
+/// Event records, no header — and is unlinked when the Trace dies.
+struct Trace::Spill {
+  struct Segment {
+    std::uint64_t offset = 0;  ///< byte offset of the block in the file
+    std::uint64_t count = 0;   ///< events in the block
+  };
+
+  std::string path;
+  std::fstream file;
+  std::size_t watermark_bytes = 0;
+  std::uint64_t write_offset = 0;       ///< append position (bytes)
+  std::vector<std::vector<Segment>> segments;  ///< per location, in order
+  std::vector<std::uint64_t> spilled_counts;   ///< per location event totals
+
+  ~Spill() {
+    if (file.is_open()) file.close();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
 
 const char* to_string(RegionKind k) {
   switch (k) {
@@ -136,6 +162,14 @@ void Trace::add_location(LocationInfo info) {
   locations_.push_back(std::move(info));
   per_loc_.emplace_back();
   loc_sorted_.push_back(true);
+  first_t_.push_back(VTime::zero());
+  last_t_.push_back(VTime::zero());
+  ext_.emplace_back();
+  ext_set_.push_back(0);
+  if (spill_) {
+    spill_->segments.emplace_back();
+    spill_->spilled_counts.push_back(0);
+  }
   merged_valid_ = false;
 }
 
@@ -169,12 +203,76 @@ void Trace::push(LocId loc, Event e) {
   if (loc < 0 || static_cast<std::size_t>(loc) >= per_loc_.size()) {
     throw TraceError("event for unknown location " + std::to_string(loc));
   }
-  auto& v = per_loc_[static_cast<std::size_t>(loc)];
-  if (!v.empty() && e.t < v.back().t) {
-    loc_sorted_[static_cast<std::size_t>(loc)] = false;
+  const auto l = static_cast<std::size_t>(loc);
+  if (ext_set_[l]) {
+    throw TraceError("location " + std::to_string(loc) +
+                     " has external (mapped) events; recording is frozen");
   }
-  v.push_back(e);
+  // The monotonicity check must survive spilling, where the predecessor may
+  // no longer be resident — compare against the tracked last timestamp.
+  if (loc_event_count(loc) == 0) {
+    first_t_[l] = e.t;
+  } else if (e.t < last_t_[l]) {
+    loc_sorted_[l] = false;
+  }
+  last_t_[l] = e.t;
+  per_loc_[l].push_back(e);
+  ++resident_events_;
   merged_valid_ = false;
+  if (spill_ && resident_events_ * sizeof(Event) > spill_->watermark_bytes) {
+    maybe_spill();
+  }
+}
+
+void Trace::enable_spill(std::string path, std::size_t watermark_bytes) {
+  if (spill_) throw TraceError("spill already enabled");
+  if (external_events()) {
+    throw TraceError("cannot spill a trace with external (mapped) events");
+  }
+  auto s = std::make_unique<Spill>();
+  s->file.open(path, std::ios::in | std::ios::out | std::ios::trunc |
+                         std::ios::binary);
+  if (!s->file) throw TraceError("cannot open spill file: " + path);
+  s->path = std::move(path);
+  s->watermark_bytes = watermark_bytes;
+  s->segments.resize(per_loc_.size());
+  s->spilled_counts.resize(per_loc_.size(), 0);
+  spill_ = std::move(s);
+}
+
+/// Checkpoint flush: appends every non-empty resident buffer to the spill
+/// file as one segment and releases its memory.  Flushing all locations at
+/// once (rather than the single largest) turns the spill into large
+/// sequential writes and keeps the per-location segment lists short — one
+/// entry per watermark crossing.
+void Trace::maybe_spill() {
+  Spill& s = *spill_;
+  s.file.clear();
+  s.file.seekp(static_cast<std::streamoff>(s.write_offset));
+  for (std::size_t l = 0; l < per_loc_.size(); ++l) {
+    auto& v = per_loc_[l];
+    if (v.empty()) continue;
+    Spill::Segment seg;
+    seg.offset = s.write_offset;
+    seg.count = v.size();
+    s.file.write(reinterpret_cast<const char*>(v.data()),
+                 static_cast<std::streamsize>(v.size() * sizeof(Event)));
+    if (!s.file) throw TraceError("spill write failed: " + s.path);
+    s.write_offset += seg.count * sizeof(Event);
+    s.segments[l].push_back(seg);
+    s.spilled_counts[l] += seg.count;
+    resident_events_ -= v.size();
+    std::vector<Event>().swap(v);  // release capacity, not just size
+  }
+  s.file.flush();
+}
+
+std::size_t Trace::spilled_bytes() const {
+  return spill_ ? static_cast<std::size_t>(spill_->write_offset) : 0;
+}
+
+std::size_t Trace::memory_bytes() const {
+  return resident_events_ * sizeof(Event);
 }
 
 void Trace::enter(LocId loc, VTime t, RegionId region) {
@@ -256,17 +354,102 @@ void Trace::lock_release(LocId loc, VTime t, std::int32_t lock_id) {
   push(loc, e);
 }
 
-const std::vector<Event>& Trace::events_of(LocId loc) const {
+Trace::Trace() = default;
+Trace::~Trace() = default;
+Trace::Trace(Trace&&) noexcept = default;
+Trace& Trace::operator=(Trace&&) noexcept = default;
+
+std::size_t Trace::loc_event_count(LocId loc) const {
+  const auto l = static_cast<std::size_t>(loc);
+  if (ext_set_[l]) return ext_[l].size();
+  std::size_t n = per_loc_[l].size();
+  if (spill_) n += static_cast<std::size_t>(spill_->spilled_counts[l]);
+  return n;
+}
+
+std::span<const Event> Trace::events_of(LocId loc) const {
   if (loc < 0 || static_cast<std::size_t>(loc) >= per_loc_.size()) {
     throw TraceError("unknown location id " + std::to_string(loc));
   }
-  return per_loc_[static_cast<std::size_t>(loc)];
+  const auto l = static_cast<std::size_t>(loc);
+  if (ext_set_[l]) return ext_[l];
+  if (spill_ && spill_->spilled_counts[l] > 0) {
+    throw TraceError("events of location " + std::to_string(loc) +
+                     " were spilled to disk; save the trace and reload it "
+                     "to analyze");
+  }
+  const auto& v = per_loc_[l];
+  return {v.data(), v.size()};
+}
+
+void Trace::set_external_events(LocId loc, std::span<const Event> events,
+                                std::shared_ptr<const void> owner) {
+  if (loc < 0 || static_cast<std::size_t>(loc) >= per_loc_.size()) {
+    throw TraceError("unknown location id " + std::to_string(loc));
+  }
+  const auto l = static_cast<std::size_t>(loc);
+  if (!per_loc_[l].empty() || (spill_ && spill_->spilled_counts[l] > 0)) {
+    throw TraceError("location " + std::to_string(loc) +
+                     " already has recorded events");
+  }
+  if (!events.empty()) {
+    first_t_[l] = events.front().t;
+    last_t_[l] = events.back().t;
+    // The recording path detects out-of-order timestamps incrementally; an
+    // adopted span needs the same classification so the merge pre-sorts it.
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i].t < events[i - 1].t) {
+        loc_sorted_[l] = false;
+        break;
+      }
+    }
+  }
+  ext_[l] = events;
+  ext_set_[l] = 1;
+  ext_owners_.push_back(std::move(owner));
+  merged_valid_ = false;
 }
 
 std::size_t Trace::event_count() const {
   std::size_t n = 0;
-  for (const auto& v : per_loc_) n += v.size();
+  for (std::size_t l = 0; l < per_loc_.size(); ++l) {
+    n += loc_event_count(static_cast<LocId>(l));
+  }
   return n;
+}
+
+void Trace::for_each_chunk_of(
+    LocId loc, const std::function<void(const Event*, std::size_t)>& fn) const {
+  const auto l = static_cast<std::size_t>(loc);
+  if (ext_set_[l]) {
+    if (!ext_[l].empty()) fn(ext_[l].data(), ext_[l].size());
+    return;
+  }
+  if (spill_ && !spill_->segments[l].empty()) {
+    // Bounded scratch: large enough for sequential-read throughput, small
+    // enough that streaming a spilled trace stays O(1) in memory.
+    static constexpr std::size_t kScratchEvents = 8192;
+    std::vector<Event> scratch;
+    Spill& s = *spill_;
+    s.file.clear();
+    for (const Spill::Segment& seg : s.segments[l]) {
+      std::uint64_t done = 0;
+      while (done < seg.count) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(seg.count - done, kScratchEvents));
+        scratch.resize(n);
+        s.file.seekg(
+            static_cast<std::streamoff>(seg.offset + done * sizeof(Event)));
+        s.file.read(reinterpret_cast<char*>(scratch.data()),
+                    static_cast<std::streamsize>(n * sizeof(Event)));
+        if (!s.file) throw TraceError("spill read failed: " + s.path);
+        fn(scratch.data(), n);
+        done += n;
+      }
+    }
+  }
+  const auto& v = per_loc_[l];
+  if (!v.empty()) fn(v.data(), v.size());
 }
 
 const std::vector<const Event*>& Trace::merged() const {
@@ -282,9 +465,11 @@ const std::vector<const Event*>& Trace::merged() const {
 // ------------------------------------------------------------ MergeCursor
 
 MergeCursor::MergeCursor(const Trace& trace) {
-  heap_.reserve(trace.per_loc_.size());
-  for (std::size_t l = 0; l < trace.per_loc_.size(); ++l) {
-    const auto& v = trace.per_loc_[l];
+  heap_.reserve(trace.location_count());
+  for (std::size_t l = 0; l < trace.location_count(); ++l) {
+    // events_of throws for spilled locations: a spilled trace is a
+    // write-only stream until saved and reloaded.
+    const std::span<const Event> v = trace.events_of(static_cast<LocId>(l));
     if (v.empty()) continue;
     Run run;
     run.loc = static_cast<LocId>(l);
@@ -294,7 +479,7 @@ MergeCursor::MergeCursor(const Trace& trace) {
     } else {
       // Hand-built trace recorded out of time order: stable-sort this
       // location's pointers once so each run the heap sees is sorted.
-      if (remap_.empty()) remap_.resize(trace.per_loc_.size());
+      if (remap_.empty()) remap_.resize(trace.location_count());
       auto& remap = remap_[l];
       remap.reserve(v.size());
       for (const Event& e : v) remap.push_back(&e);
@@ -347,9 +532,12 @@ std::size_t Trace::unsorted_location_count() const {
 }
 
 VTime Trace::end_time() const {
+  // Uses the tracked extrema (last *recorded* timestamp per location, same
+  // as the previous buffer-tail behaviour) so spilled traces answer without
+  // touching disk.
   VTime t = VTime::zero();
-  for (const auto& v : per_loc_) {
-    if (!v.empty()) t = later(t, v.back().t);
+  for (std::size_t l = 0; l < per_loc_.size(); ++l) {
+    if (loc_event_count(static_cast<LocId>(l)) > 0) t = later(t, last_t_[l]);
   }
   return t;
 }
@@ -357,9 +545,9 @@ VTime Trace::end_time() const {
 VTime Trace::begin_time() const {
   bool any = false;
   VTime t = VTime::max();
-  for (const auto& v : per_loc_) {
-    if (!v.empty()) {
-      t = earlier(t, v.front().t);
+  for (std::size_t l = 0; l < per_loc_.size(); ++l) {
+    if (loc_event_count(static_cast<LocId>(l)) > 0) {
+      t = earlier(t, first_t_[l]);
       any = true;
     }
   }

@@ -11,8 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -87,22 +91,37 @@ const char* to_string(EventType t);
 
 /// One trace record.  Flat struct (not a variant) so serialisation and the
 /// replay loop stay simple; unused fields are kNone/zero.
+///
+/// The field order is the on-disk layout of the binary trace format
+/// (docs/TRACE_FORMAT.md §7): 8-byte fields first, then 4-byte, then the
+/// two enum bytes, then an *explicit* zeroed tail pad, so the struct has no
+/// compiler-inserted padding and a record is exactly 72 deterministic
+/// bytes.  Keep the static_asserts below in sync with any change here.
 struct Event {
-  VTime t;
-  LocId loc = kNone;
-  EventType type = EventType::kEnter;
-  RegionId region = kNone;   // kEnter/kExit
-  std::int32_t peer = kNone; // kSend: destination loc; kRecv: source loc;
-                             // lock events: lock id
-  std::int32_t tag = kNone;
-  CommId comm = kNone;
-  std::int64_t bytes = 0;    // kSend/kRecv payload; kCollEnd: bytes sent
-  std::int64_t bytes_out = 0;   // kCollEnd: bytes received
-  std::int64_t seq = kNone;     // kCollEnd: collective instance number
-  CollOp op = CollOp::kBarrier; // kCollEnd
-  std::int32_t root = kNone;    // kCollEnd: root as global loc id
-  VTime enter_t;                // kCollEnd: when this participant entered
+  VTime t;                      // offset  0
+  VTime enter_t;                // offset  8  kCollEnd: participant entry time
+  std::int64_t bytes = 0;       // offset 16  kSend/kRecv payload;
+                                //            kCollEnd: bytes sent
+  std::int64_t bytes_out = 0;   // offset 24  kCollEnd: bytes received
+  std::int64_t seq = kNone;     // offset 32  kCollEnd: collective instance
+  LocId loc = kNone;            // offset 40
+  RegionId region = kNone;      // offset 44  kEnter/kExit
+  std::int32_t peer = kNone;    // offset 48  kSend: destination loc;
+                                //            kRecv: source; locks: lock id
+  std::int32_t tag = kNone;     // offset 52
+  CommId comm = kNone;          // offset 56
+  std::int32_t root = kNone;    // offset 60  kCollEnd: root as global loc id
+  EventType type = EventType::kEnter;  // offset 64
+  CollOp op = CollOp::kBarrier;        // offset 65  kCollEnd
+  std::uint8_t pad_[6] = {};    // offsets 66-71: always zero on disk
 };
+
+static_assert(sizeof(Event) == 72,
+              "Event is the binary trace record; its size is part of the "
+              "on-disk contract (docs/TRACE_FORMAT.md §7)");
+static_assert(alignof(Event) == 8, "binary event blocks are 8-aligned");
+static_assert(std::is_trivially_copyable_v<Event>,
+              "binary trace io memcpys whole Event records");
 
 enum class LocKind : std::uint8_t { kProcess, kThread };
 
@@ -182,9 +201,39 @@ class Trace {
   void lock_acquire(LocId loc, VTime t, std::int32_t lock_id);
   void lock_release(LocId loc, VTime t, std::int32_t lock_id);
 
+  // ---- spill-to-disk (docs/TRACE_FORMAT.md §7, DESIGN.md §12) ----------
+  /// Streams event blocks to `path` whenever the resident event payload
+  /// exceeds `watermark_bytes`, so a long-running generation never holds
+  /// the whole trace in RAM.  Per-location recording order is preserved as
+  /// ordered (offset, count) segments in the spill file.  A spilled trace
+  /// can still be saved (text or binary — both stream the segments back in
+  /// order) but its events are no longer addressable in memory:
+  /// events_of()/merged() throw until the saved trace is reloaded.  Enable
+  /// before recording; the spill file is deleted on destruction.
+  void enable_spill(std::string path, std::size_t watermark_bytes);
+  bool spill_enabled() const { return spill_ != nullptr; }
+  /// Event payload bytes currently written to the spill file.
+  std::size_t spilled_bytes() const;
+  /// Event payload bytes resident in memory (spilled blocks excluded).
+  std::size_t memory_bytes() const;
+
   // ---- views ----------------------------------------------------------
-  const std::vector<Event>& events_of(LocId loc) const;
+  /// Events of one location, in recording order.  Storage is either the
+  /// recording buffer or — after a zero-copy binary load — an external
+  /// mapped region kept alive by this Trace.  Throws for locations whose
+  /// events were spilled to disk (see enable_spill).
+  std::span<const Event> events_of(LocId loc) const;
   std::size_t event_count() const;
+
+  /// Points location `loc`'s event storage at `events`, an external
+  /// buffer kept alive by `owner` (an mmap mapping or a loaded byte
+  /// buffer).  This is the zero-copy binary-load path: the analyzer's
+  /// merge walks the records in place, no materialised vector<Event>.
+  /// Recording further events to such a location throws.
+  void set_external_events(LocId loc, std::span<const Event> events,
+                           std::shared_ptr<const void> owner);
+  /// True when any location's events live in an external mapped buffer.
+  bool external_events() const { return !ext_owners_.empty(); }
 
   /// All events merged into global (time, loc) order.  Events of one
   /// location keep their recording order even at equal timestamps.
@@ -215,14 +264,43 @@ class Trace {
   /// Earliest timestamp in the trace (zero when empty).
   VTime begin_time() const;
 
-  // ---- io (see trace_io.cpp) -------------------------------------------
+  // ---- io (see trace_io.cpp / trace_binary.cpp) ------------------------
+  /// Text format (docs/TRACE_FORMAT.md §1-§6).
   void save(std::ostream& os) const;
+  /// Record-packed binary container (docs/TRACE_FORMAT.md §7).
+  void save_binary(std::ostream& os) const;
   static Trace load(std::istream& is);
+
+  // Spilled traces are single-owner (the spill file has one writer) and a
+  // deep copy would silently duplicate hundreds of megabytes at weak-scale
+  // sizes, so Trace is move-only.
+  Trace();   // out-of-line: Spill is incomplete here
+  ~Trace();
+  Trace(Trace&&) noexcept;
+  Trace& operator=(Trace&&) noexcept;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
 
  private:
   friend class MergeCursor;
 
+  struct Spill;
+
   void push(LocId loc, Event e);
+  void maybe_spill();
+
+ public:
+  // ---- saver plumbing (trace_io.cpp / trace_binary.cpp) ----------------
+  /// Visits the full event sequence of `loc` in recording order as a
+  /// series of contiguous chunks (spilled segments are read back through a
+  /// bounded scratch buffer, then the resident tail).  This is how both
+  /// savers stream a spilled trace without re-materialising it.
+  void for_each_chunk_of(
+      LocId loc,
+      const std::function<void(const Event*, std::size_t)>& fn) const;
+  std::size_t loc_event_count(LocId loc) const;
+
+ private:
 
   RegionRegistry regions_;
   std::vector<LocationInfo> locations_;
@@ -234,7 +312,21 @@ class Trace {
   /// stable pre-sort inside the merge so the global order always matches
   /// the documented (time, loc) semantics.
   std::vector<bool> loc_sorted_;
+  /// Per-location timestamp extrema, valid when loc_event_count(l) > 0.
+  /// Tracked incrementally so begin/end_time need no spilled read-back.
+  std::vector<VTime> first_t_;
+  std::vector<VTime> last_t_;
   bool enabled_ = true;
+
+  // Zero-copy external storage (binary mmap load); parallel to per_loc_.
+  std::vector<std::span<const Event>> ext_;
+  std::vector<std::uint8_t> ext_set_;
+  std::vector<std::shared_ptr<const void>> ext_owners_;
+
+  std::unique_ptr<Spill> spill_;
+  /// Events currently held in per_loc_ buffers (excludes spilled blocks and
+  /// external mapped spans); drives the spill watermark in O(1).
+  std::size_t resident_events_ = 0;
 
   // merged() cache; see the declaration comment for the threading contract.
   mutable std::vector<const Event*> merged_cache_;

@@ -72,33 +72,41 @@ void Trace::save(std::ostream& os) const {
     out += c.name;
     out += '\n';
   }
-  for (const auto& v : per_loc_) {
-    for (const Event& e : v) {
-      switch (e.type) {
-        case EventType::kEnter:
-          put(out, "E", e.loc, e.t.ns(), e.region);
-          break;
-        case EventType::kExit:
-          put(out, "X", e.loc, e.t.ns(), e.region);
-          break;
-        case EventType::kSend:
-          put(out, "S", e.loc, e.t.ns(), e.peer, e.tag, e.comm, e.bytes);
-          break;
-        case EventType::kRecv:
-          put(out, "R", e.loc, e.t.ns(), e.peer, e.tag, e.comm, e.bytes);
-          break;
-        case EventType::kCollEnd:
-          put(out, "C", e.loc, e.t.ns(), e.enter_t.ns(), e.comm, e.seq,
-              to_string(e.op), e.root, e.bytes, e.bytes_out);
-          break;
-        case EventType::kLockAcquire:
-          put(out, "LA", e.loc, e.t.ns(), e.peer);
-          break;
-        case EventType::kLockRelease:
-          put(out, "LR", e.loc, e.t.ns(), e.peer);
-          break;
-      }
-    }
+  // for_each_chunk_of streams spilled segments back from disk in recording
+  // order and hands resident/mapped buffers over directly, so the same loop
+  // serialises in-memory, mmap-loaded and spilled traces.
+  for (std::size_t l = 0; l < locations_.size(); ++l) {
+    for_each_chunk_of(
+        static_cast<LocId>(l), [&](const Event* ev, std::size_t n) {
+          for (const Event* e = ev; e != ev + n; ++e) {
+            switch (e->type) {
+              case EventType::kEnter:
+                put(out, "E", e->loc, e->t.ns(), e->region);
+                break;
+              case EventType::kExit:
+                put(out, "X", e->loc, e->t.ns(), e->region);
+                break;
+              case EventType::kSend:
+                put(out, "S", e->loc, e->t.ns(), e->peer, e->tag, e->comm,
+                    e->bytes);
+                break;
+              case EventType::kRecv:
+                put(out, "R", e->loc, e->t.ns(), e->peer, e->tag, e->comm,
+                    e->bytes);
+                break;
+              case EventType::kCollEnd:
+                put(out, "C", e->loc, e->t.ns(), e->enter_t.ns(), e->comm,
+                    e->seq, to_string(e->op), e->root, e->bytes, e->bytes_out);
+                break;
+              case EventType::kLockAcquire:
+                put(out, "LA", e->loc, e->t.ns(), e->peer);
+                break;
+              case EventType::kLockRelease:
+                put(out, "LR", e->loc, e->t.ns(), e->peer);
+                break;
+            }
+          }
+        });
   }
   // Round-trip size assertion: one line per record.  Region/location/comm
   // names are the only free-form fields and they never contain newlines, so
@@ -457,14 +465,15 @@ class Loader {
 }  // namespace
 
 std::string ParseDiagnostic::str() const {
-  std::string out = "trace:" + std::to_string(line);
+  std::string out = binary ? "trace[bin]:record " : "trace:";
+  out += std::to_string(line);
   if (column > 0) out += ":" + std::to_string(column);
   out += ": ";
   out += to_string(kind);
   out += ": ";
   out += message;
   out += " (see docs/TRACE_FORMAT.md ";
-  out += spec_section(kind);
+  out += binary ? "§7" : spec_section(kind);
   out += ")";
   return out;
 }

@@ -43,11 +43,15 @@ inline constexpr std::size_t kDiagnosticKindCount =
 
 const char* to_string(DiagnosticKind k);
 
-/// One recoverable defect found while loading a trace stream.
+/// One recoverable defect found while loading a trace stream.  The same
+/// kinds cover both formats: for the binary container (TRACE_FORMAT.md §7)
+/// `binary` is set, `line` counts *records* instead of text lines, and
+/// `column` holds the byte offset of the defect when known.
 struct ParseDiagnostic {
   DiagnosticKind kind = DiagnosticKind::kMalformedRecord;
-  int line = 0;    ///< 1-based line number in the stream
-  int column = 0;  ///< 1-based column of the offending field; 0 when unknown
+  int line = 0;    ///< 1-based line (text) or record ordinal (binary)
+  int column = 0;  ///< 1-based column (text) / byte offset (binary); 0 unknown
+  bool binary = false;  ///< raised by the binary loader; str() cites §7
   std::string message;
 
   /// "trace:12:7: malformed-record: ... (see docs/TRACE_FORMAT.md §4)"

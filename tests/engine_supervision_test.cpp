@@ -101,7 +101,8 @@ TEST(Supervision, HangDumpListsEveryLocationState) {
     EXPECT_STREQ(e.what(),
                  "simulated hang: virtual-time budget (5.00 ms) exhausted\n"
                  "  [0] spinner: runnable at 5.00 ms\n"
-                 "  [1] waiter: blocked at 0 ns (waiting for godot)\n");
+                 "  [1] waiter: blocked at 0 ns (waiting for godot)\n"
+                 "  resources: locations=2 live=2 peak=2\n");
   }
 }
 
@@ -122,8 +123,57 @@ TEST(Supervision, DeadlockDumpGolden) {
     EXPECT_STREQ(e.what(),
                  "simulated deadlock: all unfinished locations are blocked\n"
                  "  [0] ping: blocked at 1.00 ms (recv from pong)\n"
-                 "  [1] pong: blocked at 2.00 ms (recv from ping)\n");
+                 "  [1] pong: blocked at 2.00 ms (recv from ping)\n"
+                 "  resources: locations=2 live=2 peak=2\n");
   }
+}
+
+TEST(Supervision, ResourceProbeAppearsInDump) {
+  // With a probe installed the resources line carries the trace payload
+  // split and the derived bytes/location figure.
+  Engine eng;
+  eng.set_resource_probe([] {
+    EngineResources r;
+    r.trace_bytes = 1440;
+    r.spilled_bytes = 720;
+    return r;
+  });
+  eng.add_location("a", [](Context& c) { c.block("recv"); });
+  eng.add_location("b", [](Context& c) { c.block("recv"); });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(
+        std::string(e.what()).find(
+            "  resources: locations=2 live=2 peak=2 trace_bytes=1440 "
+            "spilled_bytes=720 bytes/loc=1080\n"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Supervision, LiveLocationCountersTrackBodies) {
+  // live_locations is the dump's live-stack proxy: it must return to zero
+  // on completion while the peak remembers the concurrency high-water.
+  Engine eng;
+  eng.add_location("solo", [](Context& c) { c.advance(VDur::millis(1)); });
+  eng.run();
+  EXPECT_EQ(eng.stats().live_locations, 0u);
+  EXPECT_EQ(eng.stats().peak_live_locations, 1u);
+}
+
+TEST(Supervision, PeakLiveCountsOverlappingLocations) {
+  // Two locations alternating advances overlap for the whole run.
+  Engine eng;
+  for (int i = 0; i < 2; ++i) {
+    eng.add_location("worker " + std::to_string(i), [](Context& c) {
+      for (int k = 0; k < 3; ++k) c.advance(VDur::micros(10));
+    });
+  }
+  eng.run();
+  EXPECT_EQ(eng.stats().live_locations, 0u);
+  EXPECT_EQ(eng.stats().peak_live_locations, 2u);
 }
 
 TEST(Supervision, ResumeHookRunsBeforeBodyAndAfterYields) {

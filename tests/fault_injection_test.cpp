@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -18,6 +20,7 @@
 #include "faults/fault_injector.hpp"
 #include "gen/registry.hpp"
 #include "test_util.hpp"
+#include "trace/trace_binary.hpp"
 #include "trace/trace_io.hpp"
 
 namespace ats {
@@ -233,6 +236,174 @@ TEST(FaultDetect, InjectorIsDeterministic) {
   ta.save(sa);
   tb.save(sb);
   EXPECT_EQ(sa.str(), sb.str());
+}
+
+// ----------------------------------------------- binary container faults
+// The same taxonomy applied to the packed container (TRACE_FORMAT.md §7):
+// the binary loader must diagnose header damage (bad magic, version skew),
+// truncation, corrupt record lengths, and per-record defects through the
+// same LoadOptions/ParseDiagnostic machinery the text loader uses.
+
+std::string binary_bytes(const trace::Trace& t) {
+  std::ostringstream os;
+  t.save_binary(os);
+  return os.str();
+}
+
+trace::LoadResult load_bin(std::string bytes,
+                           const trace::LoadOptions& opt = {}) {
+  return trace::load_trace_binary(
+      std::make_shared<const std::string>(std::move(bytes)), opt);
+}
+
+TEST(BinaryFault, BadMagicIsBadHeader) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  std::string bytes = binary_bytes(canonical_trace(def));
+  bytes[0] = 'X';
+  const trace::LoadResult res = load_bin(bytes);
+  EXPECT_FALSE(res.header_ok);
+  ASSERT_FALSE(res.diagnostics.empty());
+  EXPECT_EQ(res.diagnostics.front().kind, trace::DiagnosticKind::kBadHeader);
+  EXPECT_TRUE(res.diagnostics.front().binary);
+  EXPECT_NE(res.diagnostics.front().str().find("trace[bin]:"),
+            std::string::npos);
+}
+
+TEST(BinaryFault, VersionSkewIsBadHeader) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  std::string bytes = binary_bytes(canonical_trace(def));
+  const std::uint32_t v2 = 2;  // version field sits right after the magic
+  std::memcpy(bytes.data() + 8, &v2, sizeof v2);
+  const trace::LoadResult res = load_bin(bytes);
+  EXPECT_FALSE(res.header_ok);
+  ASSERT_FALSE(res.diagnostics.empty());
+  EXPECT_EQ(res.diagnostics.front().kind, trace::DiagnosticKind::kBadHeader);
+  EXPECT_NE(res.diagnostics.front().str().find("version 2"),
+            std::string::npos);
+  // Strict mode refuses the file outright.
+  trace::LoadOptions strict;
+  strict.strict = true;
+  EXPECT_THROW(load_bin(bytes, strict), TraceError);
+}
+
+TEST(BinaryFault, TruncatedFileRecoversLeniently) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const trace::Trace& base = canonical_trace(def);
+  std::string bytes = binary_bytes(base);
+  bytes.resize(bytes.size() - 100);  // cut into the final event block
+  const trace::LoadResult res = load_bin(bytes);
+  EXPECT_TRUE(res.header_ok);
+  EXPECT_GT(res.records_dropped, 0u);
+  EXPECT_LT(res.trace.event_count(), base.event_count());
+  const bool truncated_diagnosed = std::any_of(
+      res.diagnostics.begin(), res.diagnostics.end(),
+      [](const trace::ParseDiagnostic& d) {
+        return d.kind == trace::DiagnosticKind::kTruncated;
+      });
+  EXPECT_TRUE(truncated_diagnosed);
+  // What survives still analyzes.
+  const auto result = lenient_analyze(res.trace);
+  EXPECT_EQ(result.quality.events_seen, res.trace.event_count());
+
+  trace::LoadOptions strict;
+  strict.strict = true;
+  EXPECT_THROW(load_bin(bytes, strict), TraceError);
+}
+
+TEST(BinaryFault, CorruptRecordLengthIsDiagnosed) {
+  // Patch the first event block's declared record count to more records
+  // than the file holds; the loader must flag the impossible length
+  // instead of reading past the buffer.
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const trace::Trace& base = canonical_trace(def);
+  std::string bytes = binary_bytes(base);
+  // The event area sits at the tail: u64 block count, then per location a
+  // u64 record count + records.  Compute its offset from the back.
+  std::size_t tail = 8;
+  for (std::size_t l = 0; l < base.location_count(); ++l) {
+    tail += 8 + 72 * base.events_of(static_cast<trace::LocId>(l)).size();
+  }
+  const std::size_t first_count_at = bytes.size() - tail + 8;
+  const std::uint64_t huge = 1u << 20;
+  std::memcpy(bytes.data() + first_count_at, &huge, sizeof huge);
+  const trace::LoadResult res = load_bin(bytes);
+  EXPECT_TRUE(res.header_ok);
+  EXPECT_GT(res.records_dropped, 0u);
+  const bool length_diagnosed = std::any_of(
+      res.diagnostics.begin(), res.diagnostics.end(),
+      [](const trace::ParseDiagnostic& d) {
+        return d.kind == trace::DiagnosticKind::kTruncated &&
+               d.message.find("declares") != std::string::npos;
+      });
+  EXPECT_TRUE(length_diagnosed);
+}
+
+TEST(BinaryFault, InjectedTypeByteCorruptionsAllDiagnosed) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  FaultConfig cfg;
+  cfg.seed = 23;
+  cfg.corrupt_record = 0.3;
+  FaultInjector inj(cfg);
+  const std::string damaged =
+      inj.corrupt_binary(binary_bytes(canonical_trace(def)));
+  const std::size_t planted = inj.report().count(FaultKind::kCorruptRecord);
+  ASSERT_GT(planted, 0u);
+  trace::LoadOptions opt;
+  opt.max_diagnostics = planted + 64;
+  const trace::LoadResult res = load_bin(damaged, opt);
+  EXPECT_TRUE(res.header_ok);
+  const auto diagnosed = static_cast<std::size_t>(std::count_if(
+      res.diagnostics.begin(), res.diagnostics.end(),
+      [](const trace::ParseDiagnostic& d) {
+        return d.kind == trace::DiagnosticKind::kBadEnum;
+      }));
+  EXPECT_EQ(diagnosed, planted);
+  EXPECT_EQ(res.records_dropped, planted);
+  const auto result = lenient_analyze(res.trace);
+  EXPECT_EQ(result.quality.events_seen, res.trace.event_count());
+}
+
+TEST(BinaryFault, InjectedBogusLocationsAllDropped) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  FaultConfig cfg;
+  cfg.seed = 29;
+  cfg.bogus_location = 0.5;
+  FaultInjector inj(cfg);
+  const std::string damaged =
+      inj.corrupt_binary(binary_bytes(canonical_trace(def)));
+  const std::size_t planted = inj.report().count(FaultKind::kBogusLocation);
+  ASSERT_GT(planted, 0u);
+  trace::LoadOptions opt;
+  opt.max_diagnostics = planted + 64;
+  const trace::LoadResult res = load_bin(damaged, opt);
+  EXPECT_TRUE(res.header_ok);
+  EXPECT_EQ(res.records_dropped, planted);
+}
+
+TEST(BinaryFault, InjectedTruncationKeepsTablesAndRecovers) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const std::string pristine = binary_bytes(canonical_trace(def));
+  FaultConfig cfg;
+  cfg.seed = 31;
+  cfg.truncate_fraction = 0.6;
+  FaultInjector inj(cfg);
+  const std::string damaged = inj.corrupt_binary(pristine);
+  ASSERT_EQ(inj.report().count(FaultKind::kTruncateFile), 1u);
+  ASSERT_LT(damaged.size(), pristine.size());
+  const trace::LoadResult res = load_bin(damaged);
+  EXPECT_TRUE(res.header_ok);
+  const auto result = lenient_analyze(res.trace);
+  EXPECT_EQ(result.quality.events_seen, res.trace.event_count());
+}
+
+TEST(BinaryFault, InjectorIsDeterministicOnBinary) {
+  const PropertyDef& def = Registry::instance().find("late_sender");
+  const std::string pristine = binary_bytes(canonical_trace(def));
+  const FaultConfig cfg = FaultInjector::random_config(42);
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  EXPECT_EQ(a.corrupt_binary(pristine), b.corrupt_binary(pristine));
+  EXPECT_EQ(a.report().counts, b.report().counts);
 }
 
 // ------------------------------------------------------------ degradation
