@@ -1,0 +1,165 @@
+// TAB-CC — collective-correctness checker: detection matrix and overhead.
+//
+// Two claims from docs/DEFECTS.md are measured here.  First, detection: every
+// defect program family entry, at every rank count it supports, must yield a
+// structural-defect report citing its declared DefectKind from the salvaged
+// trace.  Second, cost: the checker retires clean collective instances as
+// they complete, so analysing the full clean registry corpus with the
+// checker on must stay within 2% of analysing it with the checker off — and
+// must report zero defects (no false positives).  A collective-only
+// microtrace is also timed as the adversarial worst case (every event feeds
+// the checker); that row is reported but not gated, since no workload where
+// the checker touches ~100% of events can hide inside a 2% envelope.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double median_ms(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+template <typename F>
+double time_ms(F&& f) {
+  const auto t0 = Clock::now();
+  f();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ats;
+  benchutil::heading(
+      "TAB-CC: collective-correctness detection matrix and checker overhead");
+
+  const auto& reg = gen::Registry::instance();
+  const std::vector<int> rank_counts = {2, 4, 8, 16};
+
+  // --- detection matrix: defect kind x rank count -------------------------
+  std::printf("%-34s %-22s", "defect program", "expected kind");
+  for (const int np : rank_counts) std::printf(" %7s", ("np=" + std::to_string(np)).c_str());
+  std::printf("\n%s\n", std::string(86, '-').c_str());
+
+  std::size_t cells = 0;
+  std::size_t detected = 0;
+  for (const std::string& name : reg.defect_names()) {
+    const gen::PropertyDef& def = reg.find(name);
+    std::printf("%-34s %-22s", name.c_str(),
+                analyze::to_string(*def.expected_defect));
+    for (const int np : rank_counts) {
+      if (np < def.min_procs) {
+        std::printf(" %7s", "-");
+        continue;
+      }
+      gen::RunConfig cfg;
+      cfg.nprocs = np;
+      cfg.engine.virtual_time_limit = VDur::seconds(120.0);
+      cfg.engine.yield_limit = 2'000'000;
+      const gen::SalvagedRun run =
+          gen::run_single_property_salvaged(def, def.positive, cfg);
+      analyze::AnalyzerOptions aopt;
+      aopt.lenient = true;
+      const analyze::AnalysisResult result = analyze::analyze(run.trace, aopt);
+      const bool hit =
+          run.outcome == def.expected_outcome &&
+          std::any_of(result.defects.begin(), result.defects.end(),
+                      [&](const analyze::StructuralDefect& d) {
+                        return d.kind == *def.expected_defect;
+                      });
+      ++cells;
+      detected += hit ? 1 : 0;
+      std::printf(" %7s", hit ? "yes" : "MISS");
+    }
+    std::printf("\n");
+  }
+  std::printf("\ndetection rate: %zu/%zu cells\n", detected, cells);
+
+  // --- checker overhead on structurally sound traces ----------------------
+  // Representative case: every clean registry program at its canonical
+  // positive configuration — the same corpus the golden sweep pins.
+  std::vector<trace::Trace> corpus;
+  std::size_t corpus_events = 0;
+  for (const std::string& name : reg.names()) {
+    const gen::PropertyDef& def = reg.find(name);
+    gen::RunConfig cfg;
+    cfg.nprocs = std::max(def.min_procs, 8);
+    corpus.push_back(gen::run_single_property(def, def.positive, cfg));
+    corpus_events += corpus.back().event_count();
+  }
+  // Adversarial case: a collective-only microtrace, so the checker sees
+  // (nearly) every event and nothing amortises its bookkeeping.
+  const gen::PropertyDef& stress_def = reg.find("balanced_collectives");
+  gen::ParamMap pm = stress_def.positive;
+  pm.set("r", "300");
+  gen::RunConfig scfg;
+  scfg.nprocs = 8;
+  const trace::Trace stress = gen::run_single_property(stress_def, pm, scfg);
+
+  analyze::AnalyzerOptions with;    // check_collectives defaults to true
+  analyze::AnalyzerOptions without;
+  without.check_collectives = false;
+
+  bool clean_quiet = true;
+  bool identical = true;
+  for (const trace::Trace& tr : corpus) {
+    const analyze::AnalysisResult checked = analyze::analyze(tr, with);
+    clean_quiet = clean_quiet && checked.defects.empty();
+    identical = identical && report::severity_csv(checked, tr) ==
+                                 report::severity_csv(
+                                     analyze::analyze(tr, without), tr);
+  }
+
+  constexpr int kReps = 7;
+  std::vector<double> on_ms, off_ms, stress_on_ms, stress_off_ms;
+  for (int i = 0; i < kReps; ++i) {
+    off_ms.push_back(time_ms([&] {
+      for (const trace::Trace& tr : corpus) analyze::analyze(tr, without);
+    }));
+    on_ms.push_back(time_ms([&] {
+      for (const trace::Trace& tr : corpus) analyze::analyze(tr, with);
+    }));
+    stress_off_ms.push_back(time_ms([&] { analyze::analyze(stress, without); }));
+    stress_on_ms.push_back(time_ms([&] { analyze::analyze(stress, with); }));
+  }
+  const double off = median_ms(off_ms);
+  const double on = median_ms(on_ms);
+  const double ovh = 100.0 * (on - off) / off;
+  const double s_off = median_ms(stress_off_ms);
+  const double s_on = median_ms(stress_on_ms);
+  const double s_ovh = 100.0 * (s_on - s_off) / s_off;
+
+  std::printf("\n%-44s %10s %10s %10s\n", "clean workload", "off ms", "on ms",
+              "overhead");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  std::printf("%-44s %10.2f %10.2f %+9.2f%%\n",
+              ("registry corpus (" + std::to_string(corpus.size()) +
+               " programs, " + std::to_string(corpus_events) + " events)")
+                  .c_str(),
+              off, on, ovh);
+  std::printf("%-44s %10.2f %10.2f %+9.2f%%\n",
+              ("collective-only stress (" +
+               std::to_string(stress.event_count()) + " events)")
+                  .c_str(),
+              s_off, s_on, s_ovh);
+  std::printf("\ndefects reported across the clean corpus: %s\n",
+              clean_quiet ? "0" : "NONZERO");
+  std::printf("severity CSV identical with checker on/off: %s\n",
+              identical ? "yes" : "NO");
+  std::printf(
+      "checker overhead, representative corpus: %.2f%% (budget: < 2%%)\n",
+      ovh);
+
+  const bool ok =
+      detected == cells && clean_quiet && identical && ovh < 2.0;
+  return ok ? 0 : 1;
+}

@@ -11,6 +11,8 @@
 //   ats_fuzz --seeds 500 --out failures/   # save repros for violations
 //   ats_fuzz --replay failures/seed-42.ats-repro --shrink
 //   ats_fuzz --seeds 200 --defect late_sender   # must report violations
+//   ats_fuzz --seeds 500 --inject-collectives   # miscalled collectives:
+//                                               # the checker must catch all
 //
 // Exit codes: 0 no violations, 1 violations found, 2 usage error.
 #include <chrono>
@@ -41,6 +43,10 @@ constexpr const char* kUsage =
     "  --out DIR       write .ats-repro files for violations into DIR\n"
     "  --defect PROP   disable analyzer pattern PROP (self-test: the\n"
     "                  fuzzer must then report detection violations)\n"
+    "  --inject-collectives\n"
+    "                  append a random collective miscall to every spec;\n"
+    "                  the structural checker must report each injected\n"
+    "                  defect kind (docs/DEFECTS.md)\n"
     "  --help          show this message\n"
     "\n"
     "exit status: 0 no violations, 1 violations found, 2 usage error\n";
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
   std::uint64_t start = 1;
   int jobs = 0;
   bool shrink = false;
+  bool inject_collectives = false;
   std::string replay_path;
   std::string out_dir;
   proptest::CheckOptions copts;
@@ -123,6 +130,8 @@ int main(int argc, char** argv) {
         out_dir = value();
       } else if (arg == "--defect") {
         copts.disabled_patterns.push_back(parse_property(value()));
+      } else if (arg == "--inject-collectives") {
+        inject_collectives = true;
       } else {
         throw UsageError("ats_fuzz: unknown option " + arg);
       }
@@ -165,8 +174,10 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(seeds));
     par::ThreadPool pool(jobs);
     pool.parallel_for(static_cast<std::size_t>(seeds), [&](std::size_t i) {
-      const proptest::ProgramSpec spec =
-          proptest::random_spec(start + static_cast<std::uint64_t>(i));
+      const std::uint64_t seed = start + static_cast<std::uint64_t>(i);
+      const proptest::ProgramSpec spec = inject_collectives
+                                             ? proptest::random_defect_spec(seed)
+                                             : proptest::random_spec(seed);
       results[i] = proptest::check_spec(spec, copts);
     });
     const double elapsed =

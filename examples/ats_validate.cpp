@@ -13,6 +13,11 @@
 // same corpus valid for the fiber and thread engines, so the CI backend
 // matrix covers both.
 //
+// The sweep also covers the defect program family (docs/DEFECTS.md): each
+// entry's salvaged trace and rendered structural-defect report are pinned
+// as <name>.trace / <name>.defects, and the report must cite the entry's
+// declared DefectKind — a registry-level must-detect check on every run.
+//
 // Exit codes:
 //   0  the file is pristine / the golden corpus matches;
 //   1  the file is damaged but recoverable, or the corpus drifted;
@@ -64,6 +69,22 @@ trace::Trace golden_trace(const gen::PropertyDef& def) {
   return gen::run_single_property(def, def.positive, cfg);
 }
 
+/// One golden artifact: regenerate or compare against the pinned bytes.
+void pin_or_check(const std::string& path, const std::string& bytes,
+                  const std::string& name, const char* what, bool regen,
+                  std::size_t& drifted) {
+  if (regen) {
+    std::ofstream(path, std::ios::binary) << bytes;
+    std::cout << "wrote " << path << "\n";
+    return;
+  }
+  if (read_file(path) != bytes) {
+    std::cout << "DRIFT " << name << ": " << what << " differs from " << path
+              << "\n";
+    ++drifted;
+  }
+}
+
 int run_golden(const std::string& dir, bool regen) {
   const auto& reg = gen::Registry::instance();
   std::size_t drifted = 0;
@@ -76,30 +97,62 @@ int run_golden(const std::string& dir, bool regen) {
     const analyze::AnalysisResult result = analyze::analyze(tr);
     const std::string expected = report::severity_csv(result, tr);
 
-    const std::string trace_path = dir + "/" + name + ".trace";
-    const std::string expected_path = dir + "/" + name + ".expected";
-    if (regen) {
-      std::ofstream(trace_path, std::ios::binary) << trace_os.str();
-      std::ofstream(expected_path, std::ios::binary) << expected;
-      std::cout << "wrote " << trace_path << "\n";
+    pin_or_check(dir + "/" + name + ".trace", trace_os.str(), name, "trace",
+                 regen, drifted);
+    pin_or_check(dir + "/" + name + ".expected", expected, name, "analysis",
+                 regen, drifted);
+  }
+
+  // Defect program family: the run fails by design, so the salvaged trace
+  // and the structural-defect report are the pinned artifacts.  The report
+  // must cite the declared kind even in --regen mode: a regeneration that
+  // silently pins a missed detection would defeat the sweep.
+  std::size_t missed = 0;
+  for (const std::string& name : reg.defect_names()) {
+    const gen::PropertyDef& def = reg.find(name);
+    gen::RunConfig cfg;
+    cfg.nprocs = std::max(def.min_procs, 4);
+    cfg.engine.virtual_time_limit = VDur::seconds(120.0);
+    cfg.engine.yield_limit = 2'000'000;
+    const gen::SalvagedRun run =
+        gen::run_single_property_salvaged(def, def.positive, cfg);
+    if (run.outcome != def.expected_outcome) {
+      std::cout << "MISS " << name << ": run ended "
+                << gen::to_string(run.outcome) << ", registry declares "
+                << gen::to_string(def.expected_outcome) << "\n";
+      ++missed;
       continue;
     }
-    if (read_file(trace_path) != trace_os.str()) {
-      std::cout << "DRIFT " << name << ": trace differs from " << trace_path
-                << "\n";
-      ++drifted;
+    analyze::AnalyzerOptions aopt;
+    aopt.lenient = true;  // salvaged traces end mid-operation
+    const analyze::AnalysisResult result = analyze::analyze(run.trace, aopt);
+    const bool found = std::any_of(
+        result.defects.begin(), result.defects.end(),
+        [&](const analyze::StructuralDefect& d) {
+          return d.kind == *def.expected_defect;
+        });
+    if (!found) {
+      std::cout << "MISS " << name << ": checker did not report "
+                << analyze::to_string(*def.expected_defect) << " ("
+                << result.defects.size() << " defects found)\n";
+      ++missed;
+      continue;
     }
-    if (read_file(expected_path) != expected) {
-      std::cout << "DRIFT " << name << ": analysis differs from "
-                << expected_path << "\n";
-      ++drifted;
-    }
+    std::ostringstream trace_os;
+    run.trace.save(trace_os);
+    pin_or_check(dir + "/" + name + ".trace", trace_os.str(), name, "trace",
+                 regen, drifted);
+    pin_or_check(dir + "/" + name + ".defects",
+                 report::render_defects(result, run.trace), name,
+                 "defect report", regen, drifted);
   }
+
   if (!regen) {
-    std::cout << reg.names().size() << " golden entries, " << drifted
-              << " drifted\n";
+    std::cout << reg.names().size() + reg.defect_names().size()
+              << " golden entries, " << drifted << " drifted, " << missed
+              << " missed detections\n";
   }
-  return drifted == 0 ? 0 : 1;
+  return drifted == 0 && missed == 0 ? 0 : 1;
 }
 
 }  // namespace

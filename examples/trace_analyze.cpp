@@ -31,19 +31,28 @@ constexpr const char* kUsage =
     "                     (prints parse diagnostics and the data-quality\n"
     "                     pane) instead of stopping at the first error\n"
     "  --xml <out.xml>    also write the severity cube as CUBE-like XML\n"
+    "  --defects-csv <out>\n"
+    "                     write structural collective defects as CSV\n"
+    "                     (docs/DEFECTS.md); one row per defect and rank\n"
+    "  --no-collectives   skip the collective-correctness checker\n"
     "  --convert <out>    re-serialise the loaded trace to <out> and exit\n"
     "                     (no analysis); combine with --format\n"
     "  --format <f>       output container for --convert: text | binary\n"
     "                     (default: text)\n"
-    "  --help             show this message\n";
+    "  --help             show this message\n"
+    "\n"
+    "exit status: 0 clean analysis, 7 structural collective defects found\n"
+    "(docs/DEFECTS.md), 6 analysis error, 2 usage error, 1 bad input\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ats;
   bool lenient = false;
+  bool check_collectives = true;
   std::string path;
   std::string xml_path;
+  std::string defects_csv_path;
   std::string convert_path;
   std::string format = "text";
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +69,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       xml_path = argv[++i];
+    } else if (arg == "--defects-csv") {
+      if (i + 1 >= argc) {
+        std::cerr << "--defects-csv needs an output file\n" << kUsage;
+        return 2;
+      }
+      defects_csv_path = argv[++i];
+    } else if (arg == "--no-collectives") {
+      check_collectives = false;
     } else if (arg == "--convert") {
       if (i + 1 >= argc) {
         std::cerr << "--convert needs an output file\n" << kUsage;
@@ -135,6 +152,7 @@ int main(int argc, char** argv) {
     std::cout << report::render_location_summary(tr) << "\n";
     analyze::AnalyzerOptions aopt;
     aopt.lenient = lenient;
+    aopt.check_collectives = check_collectives;
     const auto result = analyze::analyze(tr, aopt);
     std::cout << report::render_analysis(result, tr);
     std::cout << "\n" << report::render_profile(result, tr);
@@ -142,6 +160,20 @@ int main(int argc, char** argv) {
       std::ofstream xml(xml_path);
       report::write_cube_xml(xml, result, tr);
       std::cout << "\ncube written to " << xml_path << "\n";
+    }
+    if (!defects_csv_path.empty()) {
+      std::ofstream csv(defects_csv_path);
+      if (!csv) {
+        std::cerr << "cannot open " << defects_csv_path << " for writing\n";
+        return 1;
+      }
+      csv << report::defect_csv(result, tr);
+      std::cout << "\ndefect CSV written to " << defects_csv_path << "\n";
+    }
+    if (!result.defects.empty()) {
+      // Structural collective defects are a distinct failure class from a
+      // degraded analysis: the tool ran fine, the *program* is broken.
+      return 7;
     }
   } catch (const ats::UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -245,6 +245,7 @@ class Replay {
     orphans_.reserve(nlocs_);
     pending_to_.reserve(nlocs_ * 2);
     colls_.reserve(nlocs_);
+    if (options.check_collectives) checker_.emplace(trace);
   }
 
   AnalysisResult run();
@@ -286,6 +287,7 @@ class Replay {
   void on_exit(const trace::Event& e);
   void on_send(const trace::Event& e);
   void on_recv(const trace::Event& e);
+  void on_coll_begin(const trace::Event& e);
   void on_coll_end(const trace::Event& e);
   void on_lock_acquire(const trace::Event& e);
   void finish_open_regions();
@@ -319,6 +321,9 @@ class Replay {
   std::vector<LrCandidate> lr_candidates_;
   // collective grouping: (comm, seq) -> records so far
   std::unordered_map<Key128, std::vector<CollRec>, Key128Hash> colls_;
+  // structural collective-correctness checker (AnalyzerOptions::
+  // check_collectives); nullopt when disabled
+  std::optional<CollectiveChecker> checker_;
 
   VDur total_time_ = VDur::zero();
   DataQuality quality_;
@@ -475,11 +480,23 @@ void Replay::on_recv(const trace::Event& e) {
   lr_candidates_.push_back(LrCandidate{e.peer, send_t, recv_enter});
 }
 
+void Replay::on_coll_begin(const trace::Event& e) {
+  // A begin record feeds only the structural checker; the profile and the
+  // severity cube are built from the enter/exit/coll-end records alone, so
+  // severity output is unchanged by its presence.
+  if (!valid_comm(e.comm)) {
+    drop_event();
+    return;
+  }
+  if (checker_) checker_->on_begin(e);
+}
+
 void Replay::on_coll_end(const trace::Event& e) {
   if (options_.lenient && !valid_comm(e.comm)) {
     drop_event();
     return;
   }
+  if (checker_) checker_->on_end(e);
   const auto& st = stacks_[static_cast<std::size_t>(e.loc)];
   CollRec rec;
   rec.loc = e.loc;
@@ -756,6 +773,7 @@ AnalysisResult Replay::run() {
       case trace::EventType::kSend: on_send(e); break;
       case trace::EventType::kRecv: on_recv(e); break;
       case trace::EventType::kCollEnd: on_coll_end(e); break;
+      case trace::EventType::kCollBegin: on_coll_begin(e); break;
       case trace::EventType::kLockAcquire: on_lock_acquire(e); break;
       case trace::EventType::kLockRelease: break;
     }
@@ -782,7 +800,8 @@ AnalysisResult Replay::run() {
                                  quality_.unsorted_locations > 0;
 
   AnalysisResult result{std::move(profile_), std::move(cube_), total_time_,
-                        {}, quality_};
+                        {}, quality_, {}};
+  if (checker_) result.defects = checker_->finish();
   rank_findings(result);
   return result;
 }

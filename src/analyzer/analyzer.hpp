@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analyzer/collcheck.hpp"
 #include "analyzer/profile.hpp"
 #include "analyzer/property.hpp"
 #include "common/vtime.hpp"
@@ -85,6 +86,12 @@ struct AnalyzerOptions {
   /// preserves the historical throw-on-inconsistency behaviour that the
   /// unit tests pin.  Recovery policy: DESIGN.md §7.
   bool lenient = false;
+  /// Runs the collective-correctness checker (collcheck.hpp) during the
+  /// replay and attaches its structural defects to the result.  On by
+  /// default: the checker is silent on structurally sound traces and its
+  /// cost is bounded by the number of concurrently open collectives
+  /// (DESIGN.md §13, docs/DEFECTS.md).
+  bool check_collectives = true;
 
   bool is_disabled(PropertyId p) const;
   /// disabled_patterns as a bitset, computed once per analysis so the
@@ -122,6 +129,12 @@ struct AnalysisResult {
   std::vector<Finding> findings;
   /// Trace-health summary (see DataQuality).
   DataQuality quality;
+  /// Structural collective-correctness defects, sorted by (communicator,
+  /// call index); empty on structurally sound traces and whenever
+  /// AnalyzerOptions::check_collectives is off.  Defects are reported
+  /// alongside — never inside — the severity cube, so severity output is
+  /// byte-identical with the checker on or off.
+  std::vector<StructuralDefect> defects;
 
   /// Highest-severity wait state; by default ignores overhead-class
   /// properties (init/finalize) so the injected property dominates.

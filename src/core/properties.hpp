@@ -139,6 +139,31 @@ void sequential_memory_bound(PropCtx& ctx, double work, int r);
 /// Compute-bound phase: register-only floating-point chain in busy mode.
 void sequential_compute_bound(PropCtx& ctx, double work, int r);
 
+// ================= Defect program family (docs/DEFECTS.md) ================
+// Structurally *incorrect* programs: each miscalls a collective in exactly
+// one way, giving the collective-correctness checker a known defect to
+// find.  The runtime reaction differs per kind — an operation or root
+// mismatch aborts the run, a skipped call deadlocks, a reduce-op mismatch
+// completes silently — but the checker must report the defect in every
+// case.  These back the registry's defect family and the fuzzer's
+// mismatch-injection mode.
+
+/// Even ranks call MPI_Allreduce, odd ranks call MPI_Barrier.
+void defect_collective_op_mismatch(PropCtx& ctx, double work,
+                                   mpi::Comm& comm);
+/// Only even ranks call MPI_Barrier; odd ranks skip straight ahead.
+void defect_conditional_collective(PropCtx& ctx, double work,
+                                   mpi::Comm& comm);
+/// Everyone calls MPI_Bcast, but each rank names `rank % 2` as the root.
+void defect_collective_root_mismatch(PropCtx& ctx, double work,
+                                     mpi::Comm& comm);
+/// MPI_Allreduce with kMin on even ranks, kMax on odd ranks; the run
+/// completes — only the checker sees the disagreement.
+void defect_reduce_op_mismatch(PropCtx& ctx, double work, mpi::Comm& comm);
+/// Splits the communicator by rank parity, then only the lower half of
+/// each sub-communicator calls the sub-communicator's barrier.
+void defect_split_comm_color(PropCtx& ctx, double work, mpi::Comm& comm);
+
 // ==================== Negative (well-tuned) functions ======================
 
 /// Balanced nearest-neighbour exchange: same work everywhere, symmetric

@@ -300,6 +300,66 @@ void sequential_compute_bound(PropCtx& ctx, double work, int r) {
                           BusyKernel::kComputeBound, work, r);
 }
 
+// ------------------------------------------------- defect program family
+
+void defect_collective_op_mismatch(PropCtx& ctx, double work,
+                                   mpi::Comm& comm) {
+  PropRegion region(ctx, *ctx.sim, "defect_collective_op_mismatch");
+  mpi::Proc& p = ctx.mpi_proc();
+  par_do_mpi_work(ctx, Distribution::same(work), 1.0, comm);
+  if (p.rank(comm) % 2 == 0) {
+    int v = 1, out = 0;
+    p.allreduce(&v, &out, 1, mpi::Datatype::kInt32, mpi::ReduceOp::kSum,
+                comm);
+  } else {
+    p.barrier(comm);
+  }
+}
+
+void defect_conditional_collective(PropCtx& ctx, double work,
+                                   mpi::Comm& comm) {
+  PropRegion region(ctx, *ctx.sim, "defect_conditional_collective");
+  mpi::Proc& p = ctx.mpi_proc();
+  par_do_mpi_work(ctx, Distribution::same(work), 1.0, comm);
+  // Odd ranks never make the call; their next collective is the runtime's
+  // own finalize barrier, which pairs with this one at the same call index
+  // and lets the run limp on until the ranks drift apart and deadlock.
+  if (p.rank(comm) % 2 == 0) p.barrier(comm);
+}
+
+void defect_collective_root_mismatch(PropCtx& ctx, double work,
+                                     mpi::Comm& comm) {
+  PropRegion region(ctx, *ctx.sim, "defect_collective_root_mismatch");
+  mpi::Proc& p = ctx.mpi_proc();
+  par_do_mpi_work(ctx, Distribution::same(work), 1.0, comm);
+  int buf = p.rank(comm);
+  p.bcast(&buf, 1, mpi::Datatype::kInt32, p.rank(comm) % 2, comm);
+}
+
+void defect_reduce_op_mismatch(PropCtx& ctx, double work, mpi::Comm& comm) {
+  PropRegion region(ctx, *ctx.sim, "defect_reduce_op_mismatch");
+  mpi::Proc& p = ctx.mpi_proc();
+  par_do_mpi_work(ctx, Distribution::same(work), 1.0, comm);
+  int v = p.rank(comm) + 1, out = 0;
+  p.allreduce(&v, &out, 1, mpi::Datatype::kInt32,
+              p.rank(comm) % 2 == 0 ? mpi::ReduceOp::kMin
+                                    : mpi::ReduceOp::kMax,
+              comm);
+}
+
+void defect_split_comm_color(PropCtx& ctx, double work, mpi::Comm& comm) {
+  PropRegion region(ctx, *ctx.sim, "defect_split_comm_color");
+  mpi::Proc& p = ctx.mpi_proc();
+  par_do_mpi_work(ctx, Distribution::same(work), 1.0, comm);
+  const int me = p.rank(comm);
+  mpi::Comm* sub = p.split(comm, me % 2, me);
+  // The split itself is consistent; the bug is that only the lower half of
+  // each colour group shows up at the sub-communicator's barrier.
+  if (sub != nullptr && p.rank(*sub) < sub->size() / 2) {
+    p.barrier(*sub);
+  }
+}
+
 // ------------------------------------------------------ negative functions
 
 void balanced_mpi_stencil(PropCtx& ctx, double work, int r,

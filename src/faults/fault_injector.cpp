@@ -68,6 +68,10 @@ void emit(trace::Trace& out, const trace::Event& e) {
       out.coll_end(e.loc, e.t, e.enter_t, e.comm, e.seq, e.op, e.root,
                    e.bytes, e.bytes_out);
       break;
+    case EventType::kCollBegin:
+      out.coll_begin(e.loc, e.t, e.comm, e.seq, e.op, e.root, e.tag,
+                     e.region);
+      break;
     case EventType::kLockAcquire:
       out.lock_acquire(e.loc, e.t, e.peer);
       break;
@@ -82,7 +86,7 @@ bool is_event_line(const std::string& line) {
   if (line.size() < 2) return false;
   if (line[1] == ' ') {
     return line[0] == 'E' || line[0] == 'X' || line[0] == 'S' ||
-           line[0] == 'R' || line[0] == 'C';
+           line[0] == 'R' || line[0] == 'C' || line[0] == 'B';
   }
   return line.size() > 2 && line[0] == 'L' &&
          (line[1] == 'A' || line[1] == 'R') && line[2] == ' ';

@@ -462,6 +462,92 @@ Registry::Registry() {
              const VDur step = VDur::seconds(m.get_double("step", 0.001));
              for (;;) c.sim->advance(step);
            }});
+  // --------------------------------- defect program family (collectives)
+  // Structurally incorrect programs for the collective-correctness checker
+  // (docs/DEFECTS.md).  expected_defect names the StructuralDefect the
+  // checker must report; expected_outcome states how the *runtime* reacts.
+  // Like the pathological entries they are excluded from names(); the
+  // golden defect sweep (ats_validate --defects) and the checker unit
+  // tests reach them via defect_names().
+  const auto defect_work =
+      std::vector<ParamSpec>{{"work", ParamKind::kDouble, "0.01",
+                              "seconds of computation before the miscall"}};
+  add({.name = "defect_collective_op_mismatch",
+       .paradigm = Paradigm::kMpi,
+       .brief = "even ranks call allreduce, odd ranks call barrier",
+       .params = defect_work,
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 2,
+       .expected_outcome = RunOutcome::kMpiError,
+       .expected_defect = analyze::DefectKind::kOperationMismatch,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::defect_collective_op_mismatch(
+                 c, m.get_double("work", 0.01), c.mpi_proc().comm_world());
+           }});
+  add({.name = "defect_conditional_collective",
+       .paradigm = Paradigm::kMpi,
+       .brief = "only even ranks call the barrier; odd ranks skip it",
+       .params = defect_work,
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 2,
+       .expected_outcome = RunOutcome::kDeadlock,
+       .expected_defect = analyze::DefectKind::kMissingCall,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::defect_conditional_collective(
+                 c, m.get_double("work", 0.01), c.mpi_proc().comm_world());
+           }});
+  add({.name = "defect_collective_root_mismatch",
+       .paradigm = Paradigm::kMpi,
+       .brief = "bcast where every rank names rank%2 as the root",
+       .params = defect_work,
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 2,
+       .expected_outcome = RunOutcome::kMpiError,
+       .expected_defect = analyze::DefectKind::kRootMismatch,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::defect_collective_root_mismatch(
+                 c, m.get_double("work", 0.01), c.mpi_proc().comm_world());
+           }});
+  add({.name = "defect_reduce_op_mismatch",
+       .paradigm = Paradigm::kMpi,
+       .brief = "allreduce with kMin on even ranks, kMax on odd ranks",
+       .params = defect_work,
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 2,
+       .expected_outcome = RunOutcome::kOk,
+       .expected_defect = analyze::DefectKind::kReduceOpMismatch,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::defect_reduce_op_mismatch(c, m.get_double("work", 0.01),
+                                             c.mpi_proc().comm_world());
+           }});
+  add({.name = "defect_split_comm_color",
+       .paradigm = Paradigm::kMpi,
+       .brief = "parity split; only half of each sub-comm joins its barrier",
+       .params = defect_work,
+       .expected = std::nullopt,
+       .positive = pm({}),
+       .negative = pm({}),
+       .min_procs = 4,
+       .expected_outcome = RunOutcome::kDeadlock,
+       .expected_defect = analyze::DefectKind::kMissingCall,
+       .invoke =
+           [](PropCtx& c, const ParamMap& m) {
+             core::defect_split_comm_color(c, m.get_double("work", 0.01),
+                                           c.mpi_proc().comm_world());
+           }});
+
   add({.name = "pathological_livelock",
        .paradigm = Paradigm::kMpi,
        .brief = "an infinite yield loop; virtual time never advances",
@@ -505,7 +591,12 @@ std::vector<std::string> Registry::names() const {
   std::vector<std::string> out;
   out.reserve(defs_.size());
   for (const auto& d : defs_) {
-    if (d.expected_outcome == RunOutcome::kOk) out.push_back(d.name);
+    // The defect family is excluded even when the runtime survives the
+    // miscall (defect_reduce_op_mismatch completes kOk): the safe set must
+    // stay structurally sound for the zero-false-positive guarantees.
+    if (d.expected_outcome == RunOutcome::kOk && !d.expected_defect) {
+      out.push_back(d.name);
+    }
   }
   return out;
 }
@@ -513,7 +604,17 @@ std::vector<std::string> Registry::names() const {
 std::vector<std::string> Registry::pathological_names() const {
   std::vector<std::string> out;
   for (const auto& d : defs_) {
-    if (d.expected_outcome != RunOutcome::kOk) out.push_back(d.name);
+    if (d.expected_outcome != RunOutcome::kOk && !d.expected_defect) {
+      out.push_back(d.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::defect_names() const {
+  std::vector<std::string> out;
+  for (const auto& d : defs_) {
+    if (d.expected_defect) out.push_back(d.name);
   }
   return out;
 }
@@ -546,6 +647,52 @@ trace::Trace run_single_property(const PropertyDef& def, const ParamMap& pmap,
 trace::Trace run_single_property(const std::string& name, const ParamMap& pm_,
                                  const RunConfig& cfg) {
   return run_single_property(Registry::instance().find(name), pm_, cfg);
+}
+
+SalvagedRun run_single_property_salvaged(const PropertyDef& def,
+                                         const ParamMap& pmap,
+                                         const RunConfig& cfg) {
+  pmap.check_against(def.params);
+  require(cfg.nprocs >= def.min_procs,
+          "property '" + def.name + "' needs at least " +
+              std::to_string(def.min_procs) + " processes");
+  auto first_line = [](const std::string& s) {
+    const auto nl = s.find('\n');
+    return nl == std::string::npos ? s : s.substr(0, nl);
+  };
+  SalvagedRun out;
+  mpi::MpiRunOptions opt;
+  opt.nprocs = cfg.nprocs;
+  opt.cost = cfg.mpi_cost;
+  opt.engine = cfg.engine;
+  opt.trace_enabled = cfg.trace_enabled;
+  opt.faults = cfg.faults;
+  opt.external_trace = &out.trace;
+  try {
+    (void)mpi::run_mpi(opt, [&](mpi::Proc& p) {
+      if (def.uses_openmp) {
+        omp::Runtime rt(p.world().trace(), cfg.omp_cost);
+        core::PropCtx ctx = core::PropCtx::from(p, &rt);
+        def.invoke(ctx, pmap);
+      } else {
+        core::PropCtx ctx = core::PropCtx::from(p);
+        def.invoke(ctx, pmap);
+      }
+    });
+  } catch (const DeadlockError& e) {
+    out.outcome = RunOutcome::kDeadlock;
+    out.error = first_line(e.what());
+  } catch (const HangError& e) {
+    out.outcome = RunOutcome::kHang;
+    out.error = first_line(e.what());
+  } catch (const MpiError& e) {
+    out.outcome = RunOutcome::kMpiError;
+    out.error = first_line(e.what());
+  } catch (const OmpError& e) {
+    out.outcome = RunOutcome::kMpiError;
+    out.error = first_line(e.what());
+  }
+  return out;
 }
 
 }  // namespace ats::gen

@@ -68,6 +68,15 @@ struct PropertyDef {
   /// `expected` declares the property a positive test must trigger.  Run
   /// non-kOk entries only under supervision budgets (see src/runner).
   RunOutcome expected_outcome = RunOutcome::kOk;
+  /// Structural defect the collective checker must report for this entry
+  /// (docs/DEFECTS.md).  Set only on the defect program family — registry
+  /// entries that deliberately miscall collectives; they are excluded from
+  /// names() and pathological_names() like the pathological entries, and
+  /// swept by their own golden defect-report test.  Their expected_outcome
+  /// states how the *runtime* reacts (a reduce-op mismatch completes kOk,
+  /// an operation mismatch aborts with kMpiError, a conditional collective
+  /// deadlocks); the checker must report the defect in every case.
+  std::optional<analyze::DefectKind> expected_defect;
   /// Invokes the property function with parameters from `pm`.
   std::function<void(core::PropCtx&, const ParamMap&)> invoke;
 };
@@ -85,6 +94,10 @@ class Registry {
   /// Names of the pathological entries (expected_outcome != kOk); run them
   /// only under supervision budgets.
   std::vector<std::string> pathological_names() const;
+  /// Names of the defect program family (expected_defect set) — programs
+  /// that miscall collectives so the structural checker has something to
+  /// find.  Disjoint from names() and pathological_names().
+  std::vector<std::string> defect_names() const;
 
  private:
   Registry();
@@ -111,5 +124,24 @@ trace::Trace run_single_property(const PropertyDef& def, const ParamMap& pm,
                                  const RunConfig& cfg);
 trace::Trace run_single_property(const std::string& name, const ParamMap& pm,
                                  const RunConfig& cfg);
+
+/// Result of a salvaged run: the trace recorded up to the failure (the
+/// complete trace when the run ends kOk) plus the classified outcome.
+struct SalvagedRun {
+  trace::Trace trace;
+  RunOutcome outcome = RunOutcome::kOk;
+  std::string error;  ///< first line of the failure message, when any
+};
+
+/// Like run_single_property, but survives the declared failure of a
+/// pathological or defect entry: the engine exception is classified into
+/// `outcome` and the events recorded up to the failure are salvaged via
+/// MpiRunOptions::external_trace instead of being lost with the engine —
+/// exactly what the structural collective checker needs (docs/DEFECTS.md).
+/// Callers running deadlock/hang candidates should arm supervision budgets
+/// in cfg.engine.
+SalvagedRun run_single_property_salvaged(const PropertyDef& def,
+                                         const ParamMap& pm,
+                                         const RunConfig& cfg);
 
 }  // namespace ats::gen

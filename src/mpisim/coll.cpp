@@ -23,6 +23,17 @@ namespace ats::mpi {
 
 namespace {
 
+// kCollBegin records carry ReduceOp values as raw int32 (Event::tag), which
+// trace::reduce_op_name() renders without a trace -> mpisim dependency.  Pin
+// the numeric values its name table assumes: {sum, prod, min, max, land, lor}.
+static_assert(static_cast<int>(ReduceOp::kSum) == 0 &&
+                  static_cast<int>(ReduceOp::kProd) == 1 &&
+                  static_cast<int>(ReduceOp::kMin) == 2 &&
+                  static_cast<int>(ReduceOp::kMax) == 3 &&
+                  static_cast<int>(ReduceOp::kLand) == 4 &&
+                  static_cast<int>(ReduceOp::kLor) == 5,
+              "ReduceOp values must match trace::reduce_op_name's table");
+
 std::int64_t bytes_of(int count, Datatype type) {
   require(count >= 0, "collective: negative element count");
   return static_cast<std::int64_t>(count) *
@@ -51,7 +62,9 @@ void check_capacity(std::int64_t need, std::int64_t have, const char* what) {
 detail::CollInstance& Proc::coll_enter(Comm& comm, trace::CollOp op,
                                        int root, Datatype type,
                                        std::int64_t bytes,
-                                       std::int64_t& seq_out) {
+                                       std::int64_t& seq_out,
+                                       trace::RegionId region,
+                                       std::int32_t rop) {
   const int me = rank(comm);
   const int p = comm.size();
   if (root >= 0) comm.member(root);  // range check
@@ -59,6 +72,18 @@ detail::CollInstance& Proc::coll_enter(Comm& comm, trace::CollOp op,
   ctx_.yield();  // act in global virtual-time order
   const std::int64_t seq = comm.coll_count_[static_cast<std::size_t>(me)]++;
   seq_out = seq;
+  // Record the region enter and the per-participant call record *before*
+  // the consistency checks below: when a mismatch aborts the run, the trace
+  // must still show what every rank believed it was calling, so the replay
+  // checker can cite the offending call sites.  region == kNone suppresses
+  // both (the internal init/finalize barriers).
+  if (region != trace::kNone) {
+    const std::int32_t root_loc =
+        root >= 0 ? static_cast<std::int32_t>(comm.member(root)) : trace::kNone;
+    world_->trace()->enter(ctx_.id(), ctx_.now(), region);
+    world_->trace()->coll_begin(ctx_.id(), ctx_.now(), comm.trace_id(), seq,
+                                op, root_loc, rop, region);
+  }
   auto [it, inserted] = comm.coll_.try_emplace(seq);
   detail::CollInstance& inst = it->second;
   if (inserted) {
@@ -165,10 +190,9 @@ void Proc::barrier(Comm& comm) {
   const trace::RegionId reg =
       world_->region("MPI_Barrier", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
-  detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq);
+  detail::CollInstance& inst = coll_enter(comm, trace::CollOp::kBarrier, -1,
+                                          Datatype::kByte, 0, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   coll_all_wait(comm, inst, seq, [](detail::CollInstance&) {});
   coll_finish(comm, seq, trace::CollOp::kBarrier, enter_t, 0, 0, reg);
 }
@@ -180,9 +204,8 @@ void Proc::bcast(void* data, int count, Datatype type, int root, Comm& comm) {
       world_->region("MPI_Bcast", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
   detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kBcast, root, type, bytes, seq);
+      coll_enter(comm, trace::CollOp::kBcast, root, type, bytes, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const VDur cost =
       world_->cost().collective_time(comm.size(), bytes);
 
@@ -250,9 +273,8 @@ void Proc::scatterv_impl(trace::CollOp op, const void* sdata,
       op == trace::CollOp::kScatter ? "MPI_Scatter" : "MPI_Scatterv",
       trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
-  detail::CollInstance& inst = coll_enter(comm, op, root, type, -1, seq);
+  detail::CollInstance& inst = coll_enter(comm, op, root, type, -1, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
 
   if (me == root) {
     require(op != trace::CollOp::kScatter || !scounts.empty(),
@@ -359,9 +381,8 @@ void Proc::gatherv_impl(trace::CollOp op, const void* sdata, int scount,
       op == trace::CollOp::kGather ? "MPI_Gather" : "MPI_Gatherv",
       trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
-  detail::CollInstance& inst = coll_enter(comm, op, root, type, -1, seq);
+  detail::CollInstance& inst = coll_enter(comm, op, root, type, -1, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(me);
 
   // Every rank (root included) contributes its send buffer.
@@ -435,9 +456,9 @@ void Proc::reduce(const void* sdata, void* rdata, int count, Datatype type,
       world_->region("MPI_Reduce", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
   detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kReduce, root, type, bytes, seq);
+      coll_enter(comm, trace::CollOp::kReduce, root, type, bytes, seq, reg,
+                 static_cast<std::int32_t>(rop));
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(me);
   inst.rop = rop;
   inst.contrib[ume].assign(static_cast<const std::byte*>(sdata),
@@ -487,9 +508,9 @@ void Proc::allreduce(const void* sdata, void* rdata, int count, Datatype type,
       world_->region("MPI_Allreduce", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
   detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kAllreduce, -1, type, bytes, seq);
+      coll_enter(comm, trace::CollOp::kAllreduce, -1, type, bytes, seq, reg,
+                 static_cast<std::int32_t>(rop));
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(rank(comm));
   inst.rop = rop;
   inst.contrib[ume].assign(static_cast<const std::byte*>(sdata),
@@ -523,9 +544,8 @@ void Proc::alltoall(const void* sdata, int scount, void* rdata, int rcount,
       world_->region("MPI_Alltoall", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
   detail::CollInstance& inst = coll_enter(comm, trace::CollOp::kAlltoall, -1,
-                                          type, block * p, seq);
+                                          type, block * p, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(rank(comm));
   inst.contrib[ume].assign(
       static_cast<const std::byte*>(sdata),
@@ -558,9 +578,8 @@ void Proc::allgather(const void* sdata, int scount, void* rdata, int rcount,
       world_->region("MPI_Allgather", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
   detail::CollInstance& inst = coll_enter(comm, trace::CollOp::kAllgather, -1,
-                                          type, block, seq);
+                                          type, block, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(rank(comm));
   inst.contrib[ume].assign(static_cast<const std::byte*>(sdata),
                            static_cast<const std::byte*>(sdata) + block);
@@ -590,9 +609,9 @@ void Proc::scan(const void* sdata, void* rdata, int count, Datatype type,
       world_->region("MPI_Scan", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
   detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kScan, -1, type, bytes, seq);
+      coll_enter(comm, trace::CollOp::kScan, -1, type, bytes, seq, reg,
+                 static_cast<std::int32_t>(rop));
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(rank(comm));
   inst.rop = rop;
   inst.contrib[ume].assign(static_cast<const std::byte*>(sdata),
@@ -621,10 +640,10 @@ void Proc::reduce_scatter_block(const void* sdata, void* rdata, int count,
   const trace::RegionId reg =
       world_->region("MPI_Reduce_scatter", trace::RegionKind::kMpiColl);
   std::int64_t seq = 0;
-  detail::CollInstance& inst = coll_enter(
-      comm, trace::CollOp::kReduceScatter, -1, type, block * p, seq);
+  detail::CollInstance& inst =
+      coll_enter(comm, trace::CollOp::kReduceScatter, -1, type, block * p,
+                 seq, reg, static_cast<std::int32_t>(rop));
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(rank(comm));
   inst.rop = rop;
   inst.contrib[ume].assign(
@@ -661,9 +680,8 @@ Comm* Proc::split(Comm& comm, int color, int key) {
       world_->region("MPI_Comm_split", trace::RegionKind::kMpiOther);
   std::int64_t seq = 0;
   detail::CollInstance& inst = coll_enter(comm, trace::CollOp::kCommSplit, -1,
-                                          Datatype::kInt32, 8, seq);
+                                          Datatype::kInt32, 8, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   const std::size_t ume = static_cast<std::size_t>(me);
   inst.colors[ume] = color;
   inst.keys[ume] = key;
@@ -711,9 +729,8 @@ Comm& Proc::dup(Comm& comm) {
       world_->region("MPI_Comm_dup", trace::RegionKind::kMpiOther);
   std::int64_t seq = 0;
   detail::CollInstance& inst = coll_enter(comm, trace::CollOp::kCommDup, -1,
-                                          Datatype::kInt32, 0, seq);
+                                          Datatype::kInt32, 0, seq, reg);
   const VTime enter_t = ctx_.now();
-  world_->trace()->enter(ctx_.id(), enter_t, reg);
   coll_all_wait(comm, inst, seq, [&](detail::CollInstance& ci) {
     std::vector<simt::LocationId> members;
     for (int r = 0; r < comm.size(); ++r) members.push_back(comm.member(r));

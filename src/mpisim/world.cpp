@@ -203,7 +203,8 @@ void Proc::init() {
   std::int64_t seq = 0;
   Comm& comm = world_->comm_world();
   detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq);
+      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq,
+                 trace::kNone);
   coll_all_wait(comm, inst, seq, [](detail::CollInstance&) {});
   world_->trace()->exit(ctx_.id(), ctx_.now(), reg);
 }
@@ -215,7 +216,8 @@ void Proc::finalize() {
   std::int64_t seq = 0;
   Comm& comm = world_->comm_world();
   detail::CollInstance& inst =
-      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq);
+      coll_enter(comm, trace::CollOp::kBarrier, -1, Datatype::kByte, 0, seq,
+                 trace::kNone);
   coll_all_wait(comm, inst, seq, [](detail::CollInstance&) {});
   ctx_.advance(world_->cost().finalize_cost);
   world_->trace()->exit(ctx_.id(), ctx_.now(), reg);
@@ -226,16 +228,18 @@ void Proc::finalize() {
 MpiRunResult run_mpi(const MpiRunOptions& options,
                      const std::function<void(Proc&)>& body) {
   MpiRunResult result;
-  result.trace.set_enabled(options.trace_enabled);
+  trace::Trace* sink =
+      options.external_trace ? options.external_trace : &result.trace;
+  sink->set_enabled(options.trace_enabled);
   if (!options.trace_spill_path.empty()) {
-    result.trace.enable_spill(options.trace_spill_path,
-                              options.trace_spill_watermark);
+    sink->enable_spill(options.trace_spill_path,
+                       options.trace_spill_watermark);
   }
   simt::Engine engine(options.engine);
-  World world(engine, options.nprocs, options.cost, &result.trace);
+  World world(engine, options.nprocs, options.cost, sink);
   // Failure dumps report the trace payload next to location states; both
   // figures are identical across backends, keeping dumps parity-safe.
-  engine.set_resource_probe([trace = &result.trace] {
+  engine.set_resource_probe([trace = sink] {
     simt::EngineResources r;
     r.trace_bytes = trace->memory_bytes();
     r.spilled_bytes = trace->spilled_bytes();

@@ -202,9 +202,18 @@ class Proc {
   void enqueue_unexpected(Comm& comm, int dest, detail::PendingMsg msg);
 
   // collective internals (coll.cpp)
+  /// Joins collective instance (comm, seq).  Records the region enter and
+  /// the per-participant kCollBegin call record *before* the consistency
+  /// checks, so a mismatching rank still leaves evidence the replay-side
+  /// collective checker can cite; pass region == trace::kNone to suppress
+  /// both records (the internal init/finalize barriers, which never reach
+  /// coll_finish).  `rop` is the reduce-op id for reductions
+  /// (trace::kNone for ops without one).
   detail::CollInstance& coll_enter(Comm& comm, trace::CollOp op, int root,
                                    Datatype type, std::int64_t bytes,
-                                   std::int64_t& seq_out);
+                                   std::int64_t& seq_out,
+                                   trace::RegionId region,
+                                   std::int32_t rop = trace::kNone);
   void coll_finish(Comm& comm, std::int64_t seq, trace::CollOp op,
                    VTime enter_t, std::int64_t bytes_in,
                    std::int64_t bytes_out, trace::RegionId region);
@@ -243,6 +252,12 @@ struct MpiRunOptions {
   /// throw until the saved file is reloaded.
   std::string trace_spill_path;
   std::size_t trace_spill_watermark = 64u << 20;  // 64 MiB
+  /// When non-null, events are recorded into *external_trace instead of
+  /// MpiRunResult::trace (which is then left empty).  The sink outlives the
+  /// run, so callers keep the partial trace even when run_mpi throws
+  /// (deadlock, MPI error) — the collective checker analyses exactly these
+  /// salvaged traces.
+  trace::Trace* external_trace = nullptr;
 };
 
 struct MpiRunResult {

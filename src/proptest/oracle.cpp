@@ -86,6 +86,35 @@ void invoke_members(const ProgramSpec& spec, mpi::Proc& p,
   }
 }
 
+/// The injected-miscall epilogue: runs after the spec's program body, on
+/// comm world, so the salvaged trace ends with exactly one known structural
+/// defect for the collective checker to find.
+void inject_coll_defect(const ProgramSpec& spec, mpi::Proc& p) {
+  if (spec.coll_defect == SpecCollDefect::kNone) return;
+  core::PropCtx ctx = core::PropCtx::from(p);
+  const double work = static_cast<double>(spec.basework_us) * 1e-6;
+  mpi::Comm& world = ctx.mpi_proc().comm_world();
+  switch (spec.coll_defect) {
+    case SpecCollDefect::kNone:
+      break;
+    case SpecCollDefect::kOpMismatch:
+      core::defect_collective_op_mismatch(ctx, work, world);
+      break;
+    case SpecCollDefect::kMissingCall:
+      core::defect_conditional_collective(ctx, work, world);
+      break;
+    case SpecCollDefect::kRootMismatch:
+      core::defect_collective_root_mismatch(ctx, work, world);
+      break;
+    case SpecCollDefect::kReduceOpMismatch:
+      core::defect_reduce_op_mismatch(ctx, work, world);
+      break;
+    case SpecCollDefect::kSplitColor:
+      core::defect_split_comm_color(ctx, work, world);
+      break;
+  }
+}
+
 int effective_nprocs(const ProgramSpec& spec) {
   const auto& reg = gen::Registry::instance();
   int min_procs = spec.mode == ProgramMode::kSplit ? 4 : 1;
@@ -94,6 +123,13 @@ int effective_nprocs(const ProgramSpec& spec) {
     for (const auto& name : spec.mix) {
       min_procs = std::max(min_procs, reg.find(name).min_procs);
     }
+  }
+  // The injected miscalls disagree across rank parity (>= 2 ranks); the
+  // split variant needs two sub-communicators of >= 2 ranks each.
+  if (spec.coll_defect == SpecCollDefect::kSplitColor) {
+    min_procs = std::max(min_procs, 4);
+  } else if (spec.coll_defect != SpecCollDefect::kNone) {
+    min_procs = std::max(min_procs, 2);
   }
   return std::max(spec.nprocs, min_procs);
 }
@@ -123,6 +159,17 @@ mpi::RankFaultPlan fault_plan(const ProgramSpec& spec, int nprocs) {
 /// is a crash/hang-oracle violation.
 std::vector<RunOutcome> expected_outcomes(const ProgramSpec& spec) {
   const auto& reg = gen::Registry::instance();
+  switch (spec.coll_defect) {
+    case SpecCollDefect::kOpMismatch:
+    case SpecCollDefect::kRootMismatch:
+      return {RunOutcome::kMpiError};  // runtime aborts at the second arriver
+    case SpecCollDefect::kMissingCall:
+    case SpecCollDefect::kSplitColor:
+      return {RunOutcome::kDeadlock};  // skipped ranks starve the collective
+    case SpecCollDefect::kNone:
+    case SpecCollDefect::kReduceOpMismatch:
+      break;  // the run completes; only the checker sees a reduce-op clash
+  }
   if (spec.mode == ProgramMode::kSingle && reg.contains(spec.property)) {
     const RunOutcome declared = reg.find(spec.property).expected_outcome;
     if (declared != RunOutcome::kOk) return {declared};
@@ -207,6 +254,7 @@ const char* to_string(Oracle o) {
     case Oracle::kLoaderDifferential: return "loader-differential";
     case Oracle::kFormatDifferential: return "format-differential";
     case Oracle::kCorruptionInvariant: return "corruption-invariant";
+    case Oracle::kCollectiveCheck: return "collective-check";
   }
   return "?";
 }
@@ -239,6 +287,10 @@ RunResult run_program(const ProgramSpec& spec, simt::EngineBackend backend) {
   opt.engine = cfg.engine;
   opt.trace_enabled = true;
   opt.faults = cfg.faults;
+  // Record straight into the result so a run that ends in a deadlock or an
+  // MpiError still leaves the events up to the failure behind — injected
+  // collective defects are diagnosed from exactly this salvaged trace.
+  opt.external_trace = &res.trace;
 
   try {
     auto result = mpi::run_mpi(opt, [&](mpi::Proc& p) {
@@ -252,8 +304,8 @@ RunResult run_program(const ProgramSpec& spec, simt::EngineBackend backend) {
       } else {
         invoke_members(spec, p, cfg);
       }
+      inject_coll_defect(spec, p);
     });
-    res.trace = std::move(result.trace);
     res.fault_report = result.fault_report;
   } catch (const DeadlockError& e) {
     res.outcome = RunOutcome::kDeadlock;
@@ -326,6 +378,52 @@ CheckResult check_spec(const ProgramSpec& spec, const CheckOptions& options) {
     }
   }
 
+  // --- injected collective defect: must-detect oracle ---------------------
+  // The remaining oracles assume a structurally sound program, so a spec
+  // with an injected miscall is judged here and returns: the checker must
+  // report the expected DefectKind from each backend's salvaged trace, and
+  // both backends must render identical defect reports.
+  if (spec.coll_defect != SpecCollDefect::kNone) {
+    const analyze::DefectKind want = defect_kind(spec.coll_defect);
+    auto defect_report =
+        [&](const RunResult& r,
+            const char* backend) -> std::optional<std::string> {
+      if (r.unclassified) return std::nullopt;
+      AnalyzerOptions lenient;
+      lenient.disabled_patterns = options.disabled_patterns;
+      lenient.lenient = true;  // salvaged traces end mid-operation
+      try {
+        const AnalysisResult dar = analyze::analyze(r.trace, lenient);
+        const bool found =
+            std::any_of(dar.defects.begin(), dar.defects.end(),
+                        [&](const analyze::StructuralDefect& d) {
+                          return d.kind == want;
+                        });
+        if (!found) {
+          violate(Oracle::kCollectiveCheck,
+                  std::string(backend) + ": injected " +
+                      std::string(to_string(spec.coll_defect)) +
+                      " not reported (" + std::to_string(dar.defects.size()) +
+                      " defects found)");
+        }
+        return report::render_defects(dar, r.trace);
+      } catch (const std::exception& e) {
+        violate(Oracle::kCollectiveCheck,
+                std::string(backend) +
+                    ": analysis of the salvaged trace threw: " +
+                    first_line(e.what()));
+        return std::nullopt;
+      }
+    };
+    const auto fiber_report = defect_report(base, "fiber");
+    const auto thread_report = defect_report(threads, "thread");
+    if (fiber_report && thread_report && *fiber_report != *thread_report) {
+      violate(Oracle::kBackendDifferential,
+              "fiber and thread defect reports differ");
+    }
+    return res;
+  }
+
   if (base.outcome != RunOutcome::kOk || base.unclassified) return res;
   const std::string pristine = save_text(base.trace);
 
@@ -376,6 +474,14 @@ CheckResult check_spec(const ProgramSpec& spec, const CheckOptions& options) {
   if (!ar->quality.clean()) {
     violate(Oracle::kOutcome, "pristine trace replayed with anomalies: " +
                                   quality_summary(ar->quality));
+  }
+  // Zero false positives: a structurally sound program must produce no
+  // structural collective defects (docs/DEFECTS.md).
+  if (!ar->defects.empty()) {
+    violate(Oracle::kCollectiveCheck,
+            "sound program reported " + std::to_string(ar->defects.size()) +
+                " structural defect(s): " +
+                first_line(ar->defects.front().describe(base.trace)));
   }
   const std::string pristine_csv = report::severity_csv(*ar, base.trace);
 

@@ -49,6 +49,8 @@ enum class Oracle : std::uint8_t {
                          ///< reproduce the text pipeline bit for bit
   kCorruptionInvariant,  ///< corrupted trace crashed the pipeline or was
                          ///< silently mis-analysed
+  kCollectiveCheck,      ///< the structural collective checker missed an
+                         ///< injected defect, or flagged a sound program
 };
 
 const char* to_string(Oracle o);
@@ -67,7 +69,10 @@ struct RunResult {
   /// A non-ATS exception escaped the run — itself an oracle violation.
   bool unclassified = false;
   std::string error;   ///< first line of the exception, when any
-  trace::Trace trace;  ///< meaningful only when outcome == kOk
+  /// Complete when outcome == kOk; otherwise the partial trace salvaged up
+  /// to the failure (MpiRunOptions::external_trace), which is what the
+  /// structural collective checker inspects for injected-defect specs.
+  trace::Trace trace;
   mpi::RankFaultReport fault_report;
 };
 

@@ -104,6 +104,36 @@ const char* to_string(SpecTraceFault f) {
   return "?";
 }
 
+const char* to_string(SpecCollDefect d) {
+  switch (d) {
+    case SpecCollDefect::kNone: return "none";
+    case SpecCollDefect::kOpMismatch: return "op-mismatch";
+    case SpecCollDefect::kMissingCall: return "missing-call";
+    case SpecCollDefect::kRootMismatch: return "root-mismatch";
+    case SpecCollDefect::kReduceOpMismatch: return "reduce-op-mismatch";
+    case SpecCollDefect::kSplitColor: return "split-color";
+  }
+  return "?";
+}
+
+analyze::DefectKind defect_kind(SpecCollDefect d) {
+  switch (d) {
+    case SpecCollDefect::kNone:
+      break;
+    case SpecCollDefect::kOpMismatch:
+      return analyze::DefectKind::kOperationMismatch;
+    case SpecCollDefect::kMissingCall:
+      return analyze::DefectKind::kMissingCall;
+    case SpecCollDefect::kRootMismatch:
+      return analyze::DefectKind::kRootMismatch;
+    case SpecCollDefect::kReduceOpMismatch:
+      return analyze::DefectKind::kReduceOpMismatch;
+    case SpecCollDefect::kSplitColor:
+      return analyze::DefectKind::kMissingCall;
+  }
+  throw UsageError("defect_kind: spec has no injected collective defect");
+}
+
 // ---------------------------------------------------------- serialisation
 
 std::string ProgramSpec::str() const {
@@ -125,6 +155,9 @@ std::string ProgramSpec::str() const {
   }
   if (trace_fault != SpecTraceFault::kNone) {
     os << "trace_fault " << to_string(trace_fault) << "\n";
+  }
+  if (coll_defect != SpecCollDefect::kNone) {
+    os << "coll_defect " << to_string(coll_defect) << "\n";
   }
   return os.str();
 }
@@ -194,6 +227,13 @@ ProgramSpec ProgramSpec::parse(const std::string& text) {
            SpecTraceFault::kRecord, SpecTraceFault::kTruncate,
            SpecTraceFault::kMixed},
           "trace_fault");
+    } else if (key == "coll_defect") {
+      s.coll_defect = parse_enum(
+          value,
+          {SpecCollDefect::kNone, SpecCollDefect::kOpMismatch,
+           SpecCollDefect::kMissingCall, SpecCollDefect::kRootMismatch,
+           SpecCollDefect::kReduceOpMismatch, SpecCollDefect::kSplitColor},
+          "coll_defect");
     } else {
       throw UsageError("ats-repro:" + std::to_string(lineno) +
                        ": unknown key '" + key + "'");
@@ -234,6 +274,9 @@ std::string ProgramSpec::summary() const {
   if (trace_fault != SpecTraceFault::kNone) {
     os << " trace_fault=" << to_string(trace_fault);
   }
+  if (coll_defect != SpecCollDefect::kNone) {
+    os << " coll_defect=" << to_string(coll_defect);
+  }
   return os.str();
 }
 
@@ -256,6 +299,7 @@ int ProgramSpec::complexity() const {
   if (delay_us != 50'000) ++c;
   if (rank_fault != SpecRankFault::kNone) ++c;
   if (trace_fault != SpecTraceFault::kNone) ++c;
+  if (coll_defect != SpecCollDefect::kNone) ++c;
   return c;
 }
 
@@ -332,6 +376,32 @@ ProgramSpec random_spec(std::uint64_t seed) {
         SpecTraceFault::kJitter,    SpecTraceFault::kRecord,
         SpecTraceFault::kTruncate,  SpecTraceFault::kMixed};
     s.trace_fault = kClasses[r.next_below(std::size(kClasses))];
+  }
+  return s;
+}
+
+ProgramSpec random_defect_spec(std::uint64_t seed) {
+  const auto& reg = gen::Registry::instance();
+  ProgramSpec s = random_spec(seed);
+
+  Rng r = SplitSeed(seed).child("coll-defect").rng();
+  constexpr SpecCollDefect kKinds[] = {
+      SpecCollDefect::kOpMismatch, SpecCollDefect::kMissingCall,
+      SpecCollDefect::kRootMismatch, SpecCollDefect::kReduceOpMismatch,
+      SpecCollDefect::kSplitColor};
+  s.coll_defect = kKinds[r.next_below(std::size(kKinds))];
+
+  // The epilogue only runs if the program body completes, and the oracle
+  // is sharpest when the injected miscall is the run's sole failure:
+  // strip rank/trace faults and swap a pathological primary for a safe one.
+  s.rank_fault = SpecRankFault::kNone;
+  s.fault_rank = 0;
+  s.trace_fault = SpecTraceFault::kNone;
+  if (reg.contains(s.property) &&
+      reg.find(s.property).expected_outcome != gen::RunOutcome::kOk) {
+    const std::vector<std::string> names = reg.names();
+    s.property = names[r.next_below(names.size())];
+    s.nprocs = std::max(s.nprocs, reg.find(s.property).min_procs);
   }
   return s;
 }

@@ -51,6 +51,24 @@ enum class SpecTraceFault : std::uint8_t {
 
 const char* to_string(SpecTraceFault f);
 
+/// Collective miscall injected as an epilogue after the spec's program body
+/// (ats_fuzz --inject-collectives).  Each value maps onto one core::defect_*
+/// function and one analyze::DefectKind the structural checker must report
+/// from the salvaged trace (docs/DEFECTS.md) — the must-detect oracle.
+enum class SpecCollDefect : std::uint8_t {
+  kNone,
+  kOpMismatch,        ///< even ranks allreduce, odd ranks barrier
+  kMissingCall,       ///< only even ranks join the barrier
+  kRootMismatch,      ///< bcast rooted at rank % 2
+  kReduceOpMismatch,  ///< allreduce kMin vs kMax (run completes)
+  kSplitColor,        ///< parity split, half of each sub-comm skips
+};
+
+const char* to_string(SpecCollDefect d);
+
+/// The StructuralDefect kind the checker must report for an injection.
+analyze::DefectKind defect_kind(SpecCollDefect d);
+
 /// One generated program, fully determined by its fields.  Every knob the
 /// pipeline has is derived from `seed` via SplitSeed children, so the spec
 /// *is* the reproduction: same fields, same run, same trace, same analysis.
@@ -82,6 +100,11 @@ struct ProgramSpec {
 
   SpecTraceFault trace_fault = SpecTraceFault::kNone;
 
+  /// Collective miscall appended after the program body (kNone = sound
+  /// program).  Serialised only when set, so pre-existing repro files
+  /// parse unchanged.
+  SpecCollDefect coll_defect = SpecCollDefect::kNone;
+
   // ---- serialisation (.ats-repro) --------------------------------------
   /// Self-contained text form; round-trips through parse().
   std::string str() const;
@@ -107,6 +130,14 @@ struct ProgramSpec {
 /// "gen" child stream of `seed`, so the mapping seed -> spec is stable
 /// across platforms and runs.
 ProgramSpec random_spec(std::uint64_t seed);
+
+/// random_spec(seed) overlaid with a collective-defect injection: the kind
+/// is drawn from the "coll-defect" child stream, and failure modes that
+/// would keep the epilogue from running (a pathological primary, rank or
+/// trace faults) are stripped so the injected miscall is the program's only
+/// defect.  random_spec's draw order is untouched — existing seeds map to
+/// the same base specs.
+ProgramSpec random_defect_spec(std::uint64_t seed);
 
 /// Parameter map for one registry member of the spec's program: canonical
 /// positive (or negative) parameters with the spec's repeats / nthreads /

@@ -56,6 +56,11 @@ std::vector<ProgramSpec> candidates(const ProgramSpec& s) {
     c.negative = false;
     push(std::move(c));
   }
+  if (s.coll_defect != SpecCollDefect::kNone) {
+    ProgramSpec c = s;
+    c.coll_defect = SpecCollDefect::kNone;
+    push(std::move(c));
+  }
   {
     int min_procs = s.mode == ProgramMode::kSplit ? 4 : 1;
     if (s.mode != ProgramMode::kSplit && reg.contains(s.property)) {

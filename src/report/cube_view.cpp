@@ -120,6 +120,41 @@ std::string render_data_quality(const AnalysisResult& result) {
   return os.str();
 }
 
+std::string render_defects(const AnalysisResult& result,
+                           const trace::Trace& trace) {
+  std::ostringstream os;
+  os << "=== structural defects ===\n";
+  if (result.defects.empty()) {
+    os << "(none)\n";
+    return os.str();
+  }
+  for (const auto& d : result.defects) {
+    os << d.describe(trace) << "\n";
+  }
+  return os.str();
+}
+
+std::string defect_csv(const AnalysisResult& result,
+                       const trace::Trace& trace) {
+  std::ostringstream os;
+  os << "kind,comm,call_index,rank,loc,op,root,reduce_op,status\n";
+  for (const auto& d : result.defects) {
+    const std::string prefix = std::string(analyze::to_string(d.kind)) +
+                               "," + trace.comm(d.comm).name + "," +
+                               std::to_string(d.call_index) + ",";
+    for (const auto& p : d.participants) {
+      os << prefix << p.comm_rank << "," << p.loc << ","
+         << trace::to_string(p.op) << "," << p.root << ","
+         << trace::reduce_op_name(p.rop) << ","
+         << (p.completed ? "completed" : "called") << "\n";
+    }
+    for (int r : d.missing) {
+      os << prefix << r << ",-1,,,," << "missing" << "\n";
+    }
+  }
+  return os.str();
+}
+
 std::string render_analysis(const AnalysisResult& result,
                             const trace::Trace& trace) {
   std::ostringstream os;
@@ -131,6 +166,10 @@ std::string render_analysis(const AnalysisResult& result,
   // appears only when there is degradation to report.
   if (!result.quality.clean()) {
     os << render_data_quality(result) << "\n";
+  }
+  // Same rule for the structural-defect pane: sound traces stay unchanged.
+  if (!result.defects.empty()) {
+    os << render_defects(result, trace) << "\n";
   }
   for (const auto& f : result.findings) {
     os << render_property_detail(result, trace, f.prop) << "\n";

@@ -33,6 +33,17 @@ std::string render_findings(const analyze::AnalysisResult& result,
 /// match, plus the clock-skew verdict (analyze::DataQuality).
 std::string render_data_quality(const analyze::AnalysisResult& result);
 
+/// Structural-defect pane: one line per collective-correctness violation
+/// (analyze::StructuralDefect), citing ranks and per-rank call index.
+std::string render_defects(const analyze::AnalysisResult& result,
+                           const trace::Trace& trace);
+
+/// Machine-readable defect dump: one CSV row per (defect, rank), including
+/// a row per missing rank; empty defect list yields the header only.
+/// Schema: docs/DEFECTS.md.
+std::string defect_csv(const analyze::AnalysisResult& result,
+                       const trace::Trace& trace);
+
 /// The full EXPERT-like report: property tree, findings, per-finding
 /// drill-down panes, and — when the trace was not pristine — the
 /// data-quality pane.

@@ -89,6 +89,29 @@ void write_cube_xml(std::ostream& os, const AnalysisResult& result,
      << "\" unsorted_locations=\"" << q.unsorted_locations
      << "\" clock_skew=\"" << (q.clock_skew_detected ? 1 : 0) << "\"/>\n";
 
+  // Structural collective-correctness defects (docs/DEFECTS.md).  Emitted
+  // only when present, keeping sound-trace documents byte-identical.
+  if (!result.defects.empty()) {
+    os << " <defects>\n";
+    for (const auto& d : result.defects) {
+      os << "  <defect kind=\"" << analyze::to_string(d.kind)
+         << "\" comm=\"" << xml_escape(trace.comm(d.comm).name)
+         << "\" call_index=\"" << d.call_index << "\" op=\""
+         << trace::to_string(d.op) << "\">\n";
+      for (const auto& p : d.participants) {
+        os << "   <participant rank=\"" << p.comm_rank << "\" loc=\""
+           << p.loc << "\" op=\"" << trace::to_string(p.op) << "\" root=\""
+           << p.root << "\" reduce_op=\"" << trace::reduce_op_name(p.rop)
+           << "\" completed=\"" << (p.completed ? 1 : 0) << "\"/>\n";
+      }
+      for (int r : d.missing) {
+        os << "   <missing rank=\"" << r << "\"/>\n";
+      }
+      os << "  </defect>\n";
+    }
+    os << " </defects>\n";
+  }
+
   os << " <severity>\n";
   for (PropertyId p : analyze::property_preorder()) {
     const auto nodes = result.cube.nodes_of(p);

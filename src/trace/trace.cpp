@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 
 namespace ats::trace {
 
@@ -112,9 +113,27 @@ const char* to_string(EventType t) {
     case EventType::kCollEnd: return "coll_end";
     case EventType::kLockAcquire: return "lock_acquire";
     case EventType::kLockRelease: return "lock_release";
+    case EventType::kCollBegin: return "coll_begin";
   }
   return "?";
 }
+
+namespace {
+// Names mirror mpisim's ReduceOp enumeration order; mpisim/coll.cpp
+// static_asserts the correspondence so the two can never drift apart.
+constexpr const char* kReduceOpNames[] = {"sum", "prod", "min",
+                                          "max", "land", "lor"};
+}  // namespace
+
+const char* reduce_op_name(std::int32_t rop) {
+  if (rop == kNone) return "-";
+  if (rop < 0 || static_cast<std::size_t>(rop) >= std::size(kReduceOpNames)) {
+    return "?";
+  }
+  return kReduceOpNames[rop];
+}
+
+std::size_t reduce_op_count() { return std::size(kReduceOpNames); }
 
 // --------------------------------------------------------- RegionRegistry
 
@@ -333,6 +352,22 @@ void Trace::coll_end(LocId loc, VTime t, VTime enter_t, CommId comm,
   e.bytes = bytes_in;
   e.bytes_out = bytes_out;
   e.enter_t = enter_t;
+  push(loc, e);
+}
+
+void Trace::coll_begin(LocId loc, VTime t, CommId comm, std::int64_t seq,
+                       CollOp op, std::int32_t root, std::int32_t rop,
+                       RegionId region) {
+  Event e;
+  e.t = t;
+  e.loc = loc;
+  e.type = EventType::kCollBegin;
+  e.comm = comm;
+  e.seq = seq;
+  e.op = op;
+  e.root = root;
+  e.tag = rop;
+  e.region = region;
   push(loc, e);
 }
 

@@ -85,9 +85,24 @@ enum class EventType : std::uint8_t {
   kCollEnd,
   kLockAcquire,
   kLockRelease,
+  /// Per-participant collective *call* record, written when a rank enters
+  /// the collective — before the runtime knows whether the instance is
+  /// consistent.  This is what the collective-correctness checker
+  /// (src/analyzer/collcheck.hpp) matches per communicator: a mismatched or
+  /// abandoned collective still leaves its begin records even though the
+  /// matching kCollEnd never happens.  Appended last so the byte values of
+  /// the existing types (part of the §7 binary contract) are unchanged.
+  kCollBegin,
 };
 
 const char* to_string(EventType t);
+
+/// Reduce-op id carried by kCollBegin records (Event::tag): names the
+/// mpisim ReduceOp values without a trace -> mpisim dependency.  Returns
+/// "-" for kNone (no reduce op) and "?" for out-of-range ids.
+const char* reduce_op_name(std::int32_t rop);
+/// Number of named reduce ops (valid ids are 0 .. count-1).
+std::size_t reduce_op_count();
 
 /// One trace record.  Flat struct (not a variant) so serialisation and the
 /// replay loop stay simple; unused fields are kNone/zero.
@@ -198,6 +213,14 @@ class Trace {
   void coll_end(LocId loc, VTime t, VTime enter_t, CommId comm,
                 std::int64_t seq, CollOp op, std::int32_t root,
                 std::int64_t bytes_in, std::int64_t bytes_out);
+  /// Collective call record (kCollBegin): what this participant *believes*
+  /// it is doing — op, root (global loc id, kNone when non-rooted), reduce
+  /// op (`rop`, kNone when the op has none; stored in Event::tag) and the
+  /// enclosing MPI call region.  `seq` is the participant's per-rank call
+  /// index on `comm`, matching the seq of the eventual kCollEnd.
+  void coll_begin(LocId loc, VTime t, CommId comm, std::int64_t seq,
+                  CollOp op, std::int32_t root, std::int32_t rop,
+                  RegionId region);
   void lock_acquire(LocId loc, VTime t, std::int32_t lock_id);
   void lock_release(LocId loc, VTime t, std::int32_t lock_id);
 

@@ -368,7 +368,7 @@ class BinaryLoader {
   /// whether the record is usable.
   bool validate(LocId loc, const Event& e, std::uint64_t at) {
     if (static_cast<std::uint8_t>(e.type) >
-        static_cast<std::uint8_t>(EventType::kLockRelease)) {
+        static_cast<std::uint8_t>(EventType::kCollBegin)) {
       fail(BinFail{DiagnosticKind::kBadEnum, at,
                    "bad event type byte " +
                        std::to_string(static_cast<int>(e.type))});
@@ -394,11 +394,20 @@ class BinaryLoader {
         }
         break;
       case EventType::kCollEnd:
+      case EventType::kCollBegin:
         if (static_cast<std::uint8_t>(e.op) >
             static_cast<std::uint8_t>(CollOp::kOmpIBarrier)) {
           fail(BinFail{DiagnosticKind::kBadEnum, at,
                        "bad collective op byte " +
                            std::to_string(static_cast<int>(e.op))});
+          return false;
+        }
+        if (e.type == EventType::kCollBegin &&
+            (e.region < 0 ||
+             static_cast<std::size_t>(e.region) >= t.regions().size())) {
+          fail(BinFail{DiagnosticKind::kUnknownRegion, at,
+                       "region " + std::to_string(e.region) +
+                           " was never declared"});
           return false;
         }
         [[fallthrough]];
@@ -421,7 +430,7 @@ class BinaryLoader {
   /// Re-check without emitting diagnostics (the validate pass already did).
   bool validate_quiet(LocId loc, const Event& e) {
     if (static_cast<std::uint8_t>(e.type) >
-        static_cast<std::uint8_t>(EventType::kLockRelease)) {
+        static_cast<std::uint8_t>(EventType::kCollBegin)) {
       return false;
     }
     if (e.loc != loc) return false;
@@ -432,8 +441,14 @@ class BinaryLoader {
         return e.region >= 0 &&
                static_cast<std::size_t>(e.region) < t.regions().size();
       case EventType::kCollEnd:
+      case EventType::kCollBegin:
         if (static_cast<std::uint8_t>(e.op) >
             static_cast<std::uint8_t>(CollOp::kOmpIBarrier)) {
+          return false;
+        }
+        if (e.type == EventType::kCollBegin &&
+            (e.region < 0 ||
+             static_cast<std::size_t>(e.region) >= t.regions().size())) {
           return false;
         }
         [[fallthrough]];
@@ -470,6 +485,10 @@ class BinaryLoader {
         break;
       case EventType::kLockRelease:
         t.lock_release(e.loc, e.t, e.peer);
+        break;
+      case EventType::kCollBegin:
+        t.coll_begin(e.loc, e.t, e.comm, e.seq, e.op, e.root, e.tag,
+                     e.region);
         break;
     }
   }

@@ -104,6 +104,10 @@ void Trace::save(std::ostream& os) const {
               case EventType::kLockRelease:
                 put(out, "LR", e->loc, e->t.ns(), e->peer);
                 break;
+              case EventType::kCollBegin:
+                put(out, "B", e->loc, e->t.ns(), e->comm, e->seq,
+                    to_string(e->op), e->root, e->tag, e->region);
+                break;
             }
           }
         });
@@ -438,6 +442,35 @@ class Loader {
       check_comm(comm, comm_col);
       t.coll_end(loc, VTime(ns), VTime(enter_ns), comm, seq, cop, root, bin,
                  bout);
+    } else if (kw == "B") {
+      const int loc_col = f.column();
+      const LocId loc = f.num<LocId>("location");
+      const auto ns = f.num<std::int64_t>("timestamp");
+      const int comm_col = f.column();
+      const CommId comm = f.num<CommId>("comm");
+      const auto seq = f.num<std::int64_t>("seq");
+      const int op_col = f.column();
+      const std::string op = f.word("collective op");
+      const auto root = f.num<std::int32_t>("root");
+      const auto rop = f.num<std::int32_t>("reduce op");
+      const int region_col = f.column();
+      const RegionId region = f.num<RegionId>("region");
+      CollOp cop;
+      try {
+        cop = coll_op_from_string(op);
+      } catch (const TraceError&) {
+        throw ParseFail{DiagnosticKind::kBadEnum, op_col,
+                        "unknown collective op '" + op + "'"};
+      }
+      check_loc(loc, loc_col);
+      check_comm(comm, comm_col);
+      if (region < 0 ||
+          static_cast<std::size_t>(region) >= t.regions().size()) {
+        throw ParseFail{DiagnosticKind::kUnknownRegion, region_col,
+                        "region " + std::to_string(region) +
+                            " was never declared"};
+      }
+      t.coll_begin(loc, VTime(ns), comm, seq, cop, root, rop, region);
     } else if (kw == "LA" || kw == "LR") {
       const int loc_col = f.column();
       const LocId loc = f.num<LocId>("location");

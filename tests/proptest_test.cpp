@@ -22,6 +22,7 @@ using proptest::CheckOptions;
 using proptest::CheckResult;
 using proptest::ProgramMode;
 using proptest::ProgramSpec;
+using proptest::SpecCollDefect;
 using proptest::SpecRankFault;
 using proptest::SpecTraceFault;
 
@@ -73,8 +74,33 @@ TEST(ProgramSpec, RoundTripsThroughText) {
   s.rank_fault = SpecRankFault::kStall;
   s.fault_rank = 2;
   s.trace_fault = SpecTraceFault::kDuplicate;
+  s.coll_defect = SpecCollDefect::kRootMismatch;
   const ProgramSpec back = ProgramSpec::parse(s.str());
   EXPECT_EQ(back, s);
+}
+
+TEST(ProgramSpec, CollDefectSerialisedOnlyWhenSet) {
+  // Pre-existing .ats-repro files carry no coll_defect line; a default
+  // spec must not start emitting one.
+  ProgramSpec s;
+  EXPECT_EQ(s.str().find("coll_defect"), std::string::npos);
+  s.coll_defect = SpecCollDefect::kOpMismatch;
+  EXPECT_NE(s.str().find("coll_defect op-mismatch"), std::string::npos);
+  EXPECT_EQ(s.complexity(), ProgramSpec{}.complexity() + 1);
+}
+
+TEST(ProgramSpec, RandomDefectSpecIsDeterministicAndSound) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const ProgramSpec a = proptest::random_defect_spec(seed);
+    const ProgramSpec b = proptest::random_defect_spec(seed);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.coll_defect, SpecCollDefect::kNone);
+    // The injected miscall must be the program's only failure mode.
+    EXPECT_EQ(a.rank_fault, SpecRankFault::kNone);
+    EXPECT_EQ(a.trace_fault, SpecTraceFault::kNone);
+    EXPECT_EQ(gen::Registry::instance().find(a.property).expected_outcome,
+              gen::RunOutcome::kOk);
+  }
 }
 
 TEST(ProgramSpec, ParseRejectsUnknownKeys) {

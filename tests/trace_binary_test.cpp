@@ -99,7 +99,12 @@ TEST(TraceBinary, AnalysisIdenticalThroughEitherContainer) {
 TEST(TraceBinary, GoldenCorpusAnalyzesIdenticallyEitherWay) {
   // Every golden trace (text container) must convert to binary and back
   // with a byte-identical severity profile — the corpus-wide lossless
-  // guarantee the ISSUE's round-trip criterion asks for.
+  // guarantee the ISSUE's round-trip criterion asks for.  Lenient mode:
+  // the defect-family traces are salvaged from runs that fail by design,
+  // so they legitimately end mid-operation; their structural-defect
+  // reports must survive the container change bit for bit too.
+  analyze::AnalyzerOptions aopt;
+  aopt.lenient = true;
   std::size_t checked = 0;
   for (const auto& entry :
        std::filesystem::directory_iterator(ATS_GOLDEN_DIR)) {
@@ -112,10 +117,13 @@ TEST(TraceBinary, GoldenCorpusAnalyzesIdenticallyEitherWay) {
     ASSERT_TRUE(bin_loaded.ok()) << entry.path();
     EXPECT_EQ(text_of(bin_loaded.trace), text_of(text_loaded.trace))
         << entry.path();
-    const auto ta = analyze::analyze(text_loaded.trace);
-    const auto ba = analyze::analyze(bin_loaded.trace);
+    const auto ta = analyze::analyze(text_loaded.trace, aopt);
+    const auto ba = analyze::analyze(bin_loaded.trace, aopt);
     EXPECT_EQ(report::severity_csv(ta, text_loaded.trace),
               report::severity_csv(ba, bin_loaded.trace))
+        << entry.path();
+    EXPECT_EQ(report::render_defects(ta, text_loaded.trace),
+              report::render_defects(ba, bin_loaded.trace))
         << entry.path();
     ++checked;
   }
