@@ -1,0 +1,126 @@
+// ats_client — command-line client for the ats_serve daemon.
+//
+//   ats_client --socket /tmp/ats.sock analyze prop=late_sender np=4
+//   ats_client --socket /tmp/ats.sock sweep prop=late_sender axis=np values=2,4,8
+//   ats_client --socket /tmp/ats.sock generate prop=late_sender -o drv.cpp
+//   ats_client --socket /tmp/ats.sock status | ping | shutdown
+//
+// The exit code follows the unified ATS table (gen/registry.hpp): an
+// analyze response exits with its outcome's code (hang = 4, deadlock = 3,
+// ...), a shed response exits 8 after printing the retry_after_ms hint, a
+// usage rejection exits 2.  Scripts can poll `ats_client ... analyze ...`
+// and branch on $? alone.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+#include "service/client.hpp"
+
+namespace {
+
+constexpr const char* kUsagePrefix =
+    "usage: ats_client --socket <path> <op> [key=value...] [-o <file>]\n"
+    "\n"
+    "ops: analyze sweep generate status ping shutdown\n"
+    "  analyze  prop=<name> [np=<n>] [<param>=<v>...] [deadline_ms=<n>]\n"
+    "  sweep    prop=<name> axis=<param|np> values=<v,v,...> [np=<n>]\n"
+    "  generate prop=<name>   (-o writes the driver source to a file)\n"
+    "\n";
+
+int outcome_exit_code(const std::string& outcome) {
+  for (std::size_t i = 0; i < ats::gen::kRunOutcomeCount; ++i) {
+    const auto o = static_cast<ats::gen::RunOutcome>(i);
+    if (outcome == ats::gen::to_string(o)) return ats::gen::exit_code(o);
+  }
+  return ats::gen::kExitFailure;
+}
+
+int error_exit_code(const std::string& code) {
+  if (code == "usage" || code == "too_large") return ats::gen::kExitUsage;
+  if (code == "deadline") return ats::gen::kExitHang;
+  return ats::gen::kExitFailure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string out_path;
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsagePrefix << ats::gen::exit_code_help();
+      return ats::gen::kExitOk;
+    }
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      words.push_back(arg);
+    }
+  }
+  if (socket_path.empty() || words.empty()) {
+    std::cerr << kUsagePrefix << ats::gen::exit_code_help();
+    return ats::gen::kExitUsage;
+  }
+
+  std::string line = words[0];
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    line += " ";
+    line += words[i];
+  }
+
+  try {
+    ats::service::Client client(socket_path);
+    const ats::service::Response resp = client.call(line);
+
+    switch (resp.status) {
+      case ats::service::Status::kShed:
+        std::cerr << "shed: daemon saturated, retry after "
+                  << resp.get("retry_after_ms", "?") << " ms (queued="
+                  << resp.get("queued", "?") << ")\n";
+        return ats::gen::kExitShed;
+      case ats::service::Status::kError:
+        std::cerr << "error (" << resp.get("code", "unknown")
+                  << "): " << resp.get("msg", resp.first_line) << "\n";
+        return error_exit_code(resp.get("code"));
+      case ats::service::Status::kOk:
+        break;
+    }
+
+    if (!resp.payload.empty()) {  // generate: the driver source
+      if (out_path.empty()) {
+        std::cout << resp.payload;
+      } else {
+        std::ofstream out(out_path);
+        out << resp.payload;
+        if (!out) {
+          std::cerr << "error: cannot write '" << out_path << "'\n";
+          return ats::gen::kExitFailure;
+        }
+        std::cerr << "wrote " << resp.payload.size() << " bytes to "
+                  << out_path << "\n";
+      }
+      return ats::gen::kExitOk;
+    }
+    if (!resp.rows.empty()) {  // sweep: journal-format rows
+      std::cout << "fp\tindex\tvalue\tseverity_ns\tdetected\tdominant\t"
+                   "total_ns\toutcome\tattempts\tnote\n";
+      for (const std::string& r : resp.rows) std::cout << r << "\n";
+      std::cerr << "sweep: " << resp.rows.size() << " rows, "
+                << resp.get("cached", "0") << " from cache\n";
+      return ats::gen::kExitOk;
+    }
+
+    std::cout << resp.first_line << "\n";
+    const std::string outcome = resp.get("outcome");
+    return outcome.empty() ? ats::gen::kExitOk : outcome_exit_code(outcome);
+  } catch (const ats::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return ats::gen::kExitFailure;
+  }
+}

@@ -39,47 +39,47 @@ void list_names(std::ostream& os) {
 int main(int argc, char** argv) {
   const std::string first = argc > 1 ? argv[1] : "";
   if (first == "--help" || first == "-h") {
-    std::cout << kUsage;
-    return 0;
+    std::cout << kUsage << "\n" << ats::gen::exit_code_help();
+    return ats::gen::kExitOk;
   }
   if (first == "--list") {
     std::cout << ats::gen::describe_registry();
-    return 0;
+    return ats::gen::kExitOk;
   }
   if (first == "--describe") {
     if (argc != 3) {
       std::cerr << kUsage;
-      return 2;
+      return ats::gen::kExitUsage;
     }
     try {
       std::cout << ats::gen::describe_property(
           ats::gen::Registry::instance().find(argv[2]));
-      return 0;
+      return ats::gen::kExitOk;
     } catch (const ats::UsageError& e) {
       std::cerr << "error: " << e.what() << "\nknown properties:\n";
       list_names(std::cerr);
-      return 2;
+      return ats::gen::kExitUsage;
     }
   }
   if (argc != 3 || (!first.empty() && first[0] == '-')) {
     std::cerr << kUsage;
-    return 2;
+    return ats::gen::kExitUsage;
   }
   try {
     const auto& def = ats::gen::Registry::instance().find(argv[1]);
     std::ofstream out(argv[2]);
     if (!out) {
       std::cerr << "cannot write " << argv[2] << "\n";
-      return 1;
+      return ats::gen::kExitFailure;
     }
     out << ats::gen::generate_driver_source(def);
-    return 0;
+    return ats::gen::kExitOk;
   } catch (const ats::UsageError& e) {
     // Unknown property name: the usage exit code, like the generated
     // drivers themselves (see gen::exit_code for the outcome classes).
     std::cerr << "error: " << e.what() << "\nknown properties:\n";
     list_names(std::cerr);
-    return 2;
+    return ats::gen::kExitUsage;
   } catch (const ats::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return ats::gen::exit_code(ats::gen::RunOutcome::kAnalysisError);

@@ -39,10 +39,7 @@ constexpr const char* kUsage =
     "                     (no analysis); combine with --format\n"
     "  --format <f>       output container for --convert: text | binary\n"
     "                     (default: text)\n"
-    "  --help             show this message\n"
-    "\n"
-    "exit status: 0 clean analysis, 7 structural collective defects found\n"
-    "(docs/DEFECTS.md), 6 analysis error, 2 usage error, 1 bad input\n";
+    "  --help             show this message\n";
 
 }  // namespace
 
@@ -58,21 +55,21 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << kUsage;
-      return 0;
+      std::cout << kUsage << "\n" << ats::gen::exit_code_help();
+      return ats::gen::kExitOk;
     }
     if (arg == "--lenient") {
       lenient = true;
     } else if (arg == "--xml") {
       if (i + 1 >= argc) {
         std::cerr << "--xml needs an output file\n" << kUsage;
-        return 2;
+        return gen::kExitUsage;
       }
       xml_path = argv[++i];
     } else if (arg == "--defects-csv") {
       if (i + 1 >= argc) {
         std::cerr << "--defects-csv needs an output file\n" << kUsage;
-        return 2;
+        return gen::kExitUsage;
       }
       defects_csv_path = argv[++i];
     } else if (arg == "--no-collectives") {
@@ -80,39 +77,39 @@ int main(int argc, char** argv) {
     } else if (arg == "--convert") {
       if (i + 1 >= argc) {
         std::cerr << "--convert needs an output file\n" << kUsage;
-        return 2;
+        return gen::kExitUsage;
       }
       convert_path = argv[++i];
     } else if (arg == "--format") {
       if (i + 1 >= argc) {
         std::cerr << "--format needs text or binary\n" << kUsage;
-        return 2;
+        return gen::kExitUsage;
       }
       format = argv[++i];
       if (format != "text" && format != "binary") {
         std::cerr << "--format must be text or binary, got '" << format
                   << "'\n";
-        return 2;
+        return gen::kExitUsage;
       }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n" << kUsage;
-      return 2;
+      return gen::kExitUsage;
     } else if (path.empty()) {
       path = arg;
     } else {
       std::cerr << "unexpected argument: " << arg << "\n" << kUsage;
-      return 2;
+      return gen::kExitUsage;
     }
   }
   if (path.empty()) {
     std::cerr << kUsage;
-    return 2;
+    return gen::kExitUsage;
   }
   {
     std::ifstream probe(path, std::ios::binary);
     if (!probe) {
       std::cerr << "cannot open " << path << "\n";
-      return 1;
+      return gen::kExitFailure;
     }
   }
   try {
@@ -121,7 +118,7 @@ int main(int argc, char** argv) {
     const trace::LoadResult loaded = trace::load_trace_auto_file(path, opt);
     if (!loaded.header_ok) {
       std::cerr << "error: " << path << " is not an ATS trace\n";
-      return 1;
+      return gen::kExitFailure;
     }
     for (const auto& d : loaded.diagnostics) {
       std::cerr << d.str() << "\n";
@@ -131,7 +128,7 @@ int main(int argc, char** argv) {
       std::ofstream out(convert_path, std::ios::binary);
       if (!out) {
         std::cerr << "cannot open " << convert_path << " for writing\n";
-        return 1;
+        return gen::kExitFailure;
       }
       if (format == "binary") {
         tr.save_binary(out);
@@ -140,7 +137,7 @@ int main(int argc, char** argv) {
       }
       std::cout << "converted " << path << " -> " << convert_path << " ("
                 << format << ", " << tr.event_count() << " events)\n";
-      return 0;
+      return gen::kExitOk;
     }
     std::cout << "loaded " << tr.event_count() << " events over "
               << tr.location_count() << " locations";
@@ -165,7 +162,7 @@ int main(int argc, char** argv) {
       std::ofstream csv(defects_csv_path);
       if (!csv) {
         std::cerr << "cannot open " << defects_csv_path << " for writing\n";
-        return 1;
+        return gen::kExitFailure;
       }
       csv << report::defect_csv(result, tr);
       std::cout << "\ndefect CSV written to " << defects_csv_path << "\n";
@@ -173,16 +170,16 @@ int main(int argc, char** argv) {
     if (!result.defects.empty()) {
       // Structural collective defects are a distinct failure class from a
       // degraded analysis: the tool ran fine, the *program* is broken.
-      return 7;
+      return gen::kExitDefectsFound;
     }
   } catch (const ats::UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return gen::kExitUsage;
   } catch (const ats::Error& e) {
     // Load or analysis failure on an otherwise valid invocation: the
     // outcome-class exit code shared with the generated drivers.
     std::cerr << "analysis error: " << e.what() << "\n";
     return gen::exit_code(gen::RunOutcome::kAnalysisError);
   }
-  return 0;
+  return gen::kExitOk;
 }

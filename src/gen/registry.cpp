@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/strutil.hpp"
+
 namespace ats::gen {
 
 const char* to_string(Paradigm p) {
@@ -27,13 +29,38 @@ const char* to_string(RunOutcome o) {
 
 int exit_code(RunOutcome o) {
   switch (o) {
-    case RunOutcome::kOk: return 0;
-    case RunOutcome::kDeadlock: return 3;
-    case RunOutcome::kHang: return 4;
-    case RunOutcome::kMpiError: return 5;
-    case RunOutcome::kAnalysisError: return 6;
+    case RunOutcome::kOk: return kExitOk;
+    case RunOutcome::kDeadlock: return kExitDeadlock;
+    case RunOutcome::kHang: return kExitHang;
+    case RunOutcome::kMpiError: return kExitMpiError;
+    case RunOutcome::kAnalysisError: return kExitAnalysisError;
   }
-  return 1;
+  return kExitFailure;
+}
+
+std::span<const ExitCodeEntry> exit_code_table() {
+  static constexpr ExitCodeEntry kTable[] = {
+      {kExitOk, "ok", "clean run / clean analysis"},
+      {kExitFailure, "failure", "generic failure (unreadable input, I/O)"},
+      {kExitUsage, "usage", "bad command line or API misuse"},
+      {kExitDeadlock, "deadlock", "simulation deadlocked (all ranks blocked)"},
+      {kExitHang, "hang", "a supervision budget was exhausted"},
+      {kExitMpiError, "mpi_error", "simulated-runtime violation or injected crash"},
+      {kExitAnalysisError, "analysis_error", "trace produced but the analyzer failed"},
+      {kExitDefectsFound, "defects_found",
+       "structural collective defects reported (docs/DEFECTS.md)"},
+      {kExitShed, "shed", "analysis service shed the request; retry later"},
+  };
+  return kTable;
+}
+
+std::string exit_code_help() {
+  std::string out = "exit codes:\n";
+  for (const ExitCodeEntry& e : exit_code_table()) {
+    out += "  " + std::to_string(e.code) + "  " + pad_right(e.name, 16) +
+           e.meaning + "\n";
+  }
+  return out;
 }
 
 namespace {

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,43 @@ const char* to_string(RunOutcome o);
 /// mpi_error = 5, analysis_error = 6 (1 stays generic failure, 2 usage).
 int exit_code(RunOutcome o);
 
+// ---------------------------------------------------------------- exit codes
+// The complete process exit-code contract of every ATS tool (trace_analyze,
+// gen_driver_tool, ats_validate, ats_serve/ats_client, and the generated
+// single-property drivers).  This table is the single source of truth: the
+// RunOutcome codes above are rows 0/3/4/5/6 of it, the collective checker's
+// defect signal is row 7, and the service's load-shed signal is row 8.
+// Tested (codes distinct, outcome codes consistent) in tests/gen_test.cpp
+// and rendered into --help text via exit_code_help().
+
+inline constexpr int kExitOk = 0;             ///< clean run / clean analysis
+inline constexpr int kExitFailure = 1;        ///< generic failure (bad input)
+inline constexpr int kExitUsage = 2;          ///< bad command line / misuse
+inline constexpr int kExitDeadlock = 3;       ///< RunOutcome::kDeadlock
+inline constexpr int kExitHang = 4;           ///< RunOutcome::kHang
+inline constexpr int kExitMpiError = 5;       ///< RunOutcome::kMpiError
+inline constexpr int kExitAnalysisError = 6;  ///< RunOutcome::kAnalysisError
+/// Structural collective defects found (docs/DEFECTS.md): the tool worked,
+/// the analyzed *program* is broken.  Distinct from kExitAnalysisError.
+inline constexpr int kExitDefectsFound = 7;
+/// The analysis service shed the request under load (docs/SERVICE.md):
+/// transient, retry after the server-suggested delay.
+inline constexpr int kExitShed = 8;
+
+struct ExitCodeEntry {
+  int code;
+  const char* name;     ///< stable machine-readable label, e.g. "deadlock"
+  const char* meaning;  ///< one-line human description
+};
+
+/// All defined exit codes, ascending.  Codes not in this table are not
+/// used by any ATS tool.
+std::span<const ExitCodeEntry> exit_code_table();
+
+/// The table rendered as indented help text (one "  N  name  meaning"
+/// line per code), appended to the CLI tools' --help output.
+std::string exit_code_help();
+
 struct PropertyDef {
   std::string name;       ///< function name, e.g. "late_sender"
   Paradigm paradigm = Paradigm::kMpi;
@@ -81,6 +119,26 @@ struct PropertyDef {
   std::function<void(core::PropCtx&, const ParamMap&)> invoke;
 };
 
+/// The one table every generator-side facility derives from.
+///
+/// Reentrancy contract (relied on by the analysis service, which serves
+/// many requests from one process — docs/SERVICE.md):
+///   * instance() is safe under concurrent first use: the function-local
+///     static is initialised exactly once (C++11 [stmt.dcl]p4), and the
+///     constructor touches no other mutable global state.  Long-running
+///     servers should still construct it eagerly (call instance() once
+///     before accepting work, as ats_serve does) so the one-time build
+///     cost and any construction failure happen at startup, not on the
+///     first unlucky request.
+///   * The Registry is immutable after construction; every public method
+///     is const and safe to call from any number of threads.
+///   * The PropertyDef::invoke lambdas are stateless (they capture
+///     nothing and write only through the PropCtx they are handed), so
+///     one PropertyDef may drive any number of concurrent simulations.
+/// The same audit found the remaining function-local statics on the
+/// request path: Registry::instance() here, the process-wide pool inside
+/// par::parallel_for (magic-static, same guarantee; the service uses its
+/// own pool), and Engine's backend registry — all immutable-after-init.
 class Registry {
  public:
   static const Registry& instance();

@@ -1,10 +1,10 @@
 #include "runner/supervisor.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <mutex>
 #include <sstream>
 
+#include "common/fsatomic.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/strutil.hpp"
@@ -38,13 +38,15 @@ bool parse_outcome(const std::string& s, RunOutcome* out) {
   return false;
 }
 
+}  // namespace
+
 /// One journal line per completed cell, keyed by the plan fingerprint so a
 /// stale journal never pollutes a different sweep.  All numeric fields are
 /// exact integers (virtual nanoseconds); `fraction` is re-derived on load
 /// the same way the analyzer derives it, keeping resumed rows
 /// bit-identical to freshly computed ones.
-std::string journal_line(std::uint64_t fp, std::size_t index,
-                         const ExperimentRow& r) {
+std::string format_journal_row(std::uint64_t fp, std::size_t index,
+                               const ExperimentRow& r) {
   std::ostringstream os;
   os << std::hex << fp << std::dec << '\t' << index << '\t'
      << sanitize(r.value) << '\t' << r.severity.ns() << '\t'
@@ -54,8 +56,8 @@ std::string journal_line(std::uint64_t fp, std::size_t index,
   return os.str();
 }
 
-bool parse_journal_line(const std::string& line, std::uint64_t fp,
-                        std::size_t* index, ExperimentRow* row) {
+bool parse_journal_row(const std::string& line, std::uint64_t fp,
+                       std::size_t* index, ExperimentRow* row) {
   const std::vector<std::string> f = split(line, '\t');
   if (f.size() != 10) return false;
   try {
@@ -77,6 +79,8 @@ bool parse_journal_line(const std::string& line, std::uint64_t fp,
     return false;
   }
 }
+
+namespace {
 
 void hash_bytes(std::uint64_t* h, std::string_view bytes) {
   for (const char c : bytes) {
@@ -196,24 +200,21 @@ std::vector<ExperimentRow> SupervisedRunner::run_sweep(
   std::vector<ExperimentRow> rows(n);
   std::vector<char> done(n, 0);
 
+  // The journal is loaded whether or not we resume: appends preserve any
+  // existing lines (e.g. cells of a differently-fingerprinted sweep), and
+  // every append is persisted write-to-temp + atomic-rename so a kill at
+  // any instant leaves only complete lines behind (common/fsatomic.hpp).
+  AtomicJournal journal(opt_.journal_path);
+
   if (opt_.resume && !opt_.journal_path.empty()) {
-    std::ifstream in(opt_.journal_path);
-    std::string line;
-    while (in && std::getline(in, line)) {
+    for (const std::string& line : journal.lines()) {
       std::size_t index = 0;
       ExperimentRow row;
-      if (!parse_journal_line(line, fp, &index, &row)) continue;
+      if (!parse_journal_row(line, fp, &index, &row)) continue;
       if (index >= n || row.value != plan.axis.values[index]) continue;
       rows[index] = std::move(row);
       done[index] = 1;
     }
-  }
-
-  std::ofstream journal;
-  if (!opt_.journal_path.empty()) {
-    journal.open(opt_.journal_path, std::ios::app);
-    require(journal.good(),
-            "runner: cannot open journal '" + opt_.journal_path + "'");
   }
   std::mutex journal_mu;
 
@@ -221,11 +222,10 @@ std::vector<ExperimentRow> SupervisedRunner::run_sweep(
   pool.parallel_for(n, [&](std::size_t i) {
     if (done[i]) return;
     rows[i] = run_cell(plan, def, plan.axis.values[i]);
-    if (journal.is_open()) {
-      const std::string line = journal_line(fp, i, rows[i]);
+    if (!opt_.journal_path.empty()) {
+      std::string line = format_journal_row(fp, i, rows[i]);
       std::lock_guard<std::mutex> lk(journal_mu);
-      journal << line << '\n';
-      journal.flush();
+      journal.append(std::move(line));
     }
   });
   return rows;

@@ -51,8 +51,10 @@ struct SupervisorOptions {
   /// locations still yield.
   std::chrono::milliseconds wall_clock_limit{0};
 
-  /// Journal file: completed cells are appended as they finish.  Empty =
-  /// no journal.
+  /// Journal file: completed cells are appended as they finish, each
+  /// append persisted crash-consistently (write-to-temp + atomic rename,
+  /// see common/fsatomic.hpp) so a sweep killed mid-write never leaves a
+  /// torn journal line for --resume to misparse.  Empty = no journal.
   std::string journal_path;
   /// Load journaled cells (matching this plan's fingerprint) instead of
   /// re-running them.
@@ -90,5 +92,21 @@ class SupervisedRunner {
 
 /// FNV-1a 64-bit over a byte string (the journal/fingerprint hash).
 std::uint64_t fnv1a64(std::string_view bytes);
+
+/// One completed cell as a journal line: tab-separated
+///   fp(hex) \t index \t value \t severity_ns \t detected \t dominant
+///   \t total_ns \t outcome \t attempts \t note
+/// This is the one persistent row format shared by the sweep journal and
+/// the analysis service's result cache (docs/SERVICE.md §cache); numeric
+/// fields are exact integers so a reloaded row is bit-identical to the
+/// freshly computed one.
+std::string format_journal_row(std::uint64_t fp, std::size_t index,
+                               const gen::ExperimentRow& row);
+
+/// Parses a journal line keyed by `fp`.  Returns false (and leaves the
+/// outputs untouched) for torn, malformed, or differently-keyed lines —
+/// resume and cache loads skip those instead of failing.
+bool parse_journal_row(const std::string& line, std::uint64_t fp,
+                       std::size_t* index, gen::ExperimentRow* row);
 
 }  // namespace ats::runner

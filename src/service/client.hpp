@@ -1,0 +1,43 @@
+// Thin client for the ATS analysis service (docs/SERVICE.md).
+//
+// Connects to the daemon's Unix socket and speaks the line protocol
+// (service/protocol.hpp): one request line out, one framed response back.
+// The connection is persistent — call() may be invoked repeatedly; work
+// requests block until the daemon answers (ok / shed / error), so callers
+// get backpressure, not buffering.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace ats::service {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`.  Throws ats::Error when the
+  /// socket does not exist or refuses the connection.
+  explicit Client(std::string socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (without trailing newline) and reads the full
+  /// framed response.  Throws ats::Error on a broken connection.
+  Response call(const std::string& request_line);
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  /// Blocking line read through the internal buffer.  Throws on EOF.
+  std::string read_line();
+  /// Reads exactly `n` raw payload bytes.
+  std::string read_exact(std::size_t n);
+
+  std::string path_;
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace ats::service

@@ -1,0 +1,113 @@
+// Wire protocol of the ATS analysis service (docs/SERVICE.md).
+//
+// Requests and responses are single text lines over a local stream socket.
+// A request is an operation name followed by key=value fields:
+//
+//   analyze prop=late_sender np=4 extrawork=0.05 deadline_ms=2000
+//   sweep prop=late_sender axis=extrawork values=0.01,0.02,0.05 np=4
+//   generate prop=late_sender
+//   status | ping | shutdown
+//
+// Responses start with a status token — "ok", "shed" or "error" — followed
+// by key=value fields; "generate" and "sweep" responses carry a framed
+// multi-line payload terminated by an "end" line.  The full grammar,
+// field tables and failure-mode semantics live in docs/SERVICE.md; this
+// header is the parsing/formatting layer shared by server and client, so
+// the two can never drift apart.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/params.hpp"
+
+namespace ats::service {
+
+/// Operations a request can name.  kAnalyze/kSweep are *work* requests
+/// (admitted, queued, cached, journaled for recovery); kGenerate is cheap
+/// CPU-bound work (admitted but not journaled); the rest are control
+/// requests answered inline and never shed.
+enum class Op : std::uint8_t {
+  kAnalyze,
+  kSweep,
+  kGenerate,
+  kStatus,
+  kPing,
+  kShutdown,
+};
+
+const char* to_string(Op op);
+
+/// Admission classes: control requests bypass the queue entirely, the
+/// work classes have independent concurrency limits (docs/SERVICE.md).
+enum class RequestClass : std::uint8_t { kControl, kGenerate, kAnalyze, kSweep };
+
+const char* to_string(RequestClass c);
+
+RequestClass request_class(Op op);
+
+/// A parsed request.  `params` holds only property parameters — the
+/// reserved keys (prop, np, axis, values, deadline_ms) are lifted into
+/// typed fields.
+struct Request {
+  Op op = Op::kPing;
+  std::string prop;
+  int np = 4;
+  gen::ParamMap params;
+  /// Sweep axis parameter name and values (kSweep only).
+  std::string axis;
+  std::vector<std::string> values;
+  /// Relative deadline; zero = the server default applies.
+  std::chrono::milliseconds deadline{0};
+};
+
+/// Parses one request line.  Throws ats::UsageError with a message safe
+/// to echo to the client on malformed input (unknown op, bad key=value
+/// syntax, missing prop, non-numeric np/deadline_ms).
+Request parse_request(const std::string& line);
+
+/// Renders `req` back into a canonical request line: fixed field order,
+/// property parameters sorted by key, no deadline (deadlines are
+/// per-attempt, not part of the work's identity).  Canonical lines key
+/// the in-flight recovery journal, so the same work always maps to the
+/// same line bytes.
+std::string canonical_request_line(const Request& req);
+
+/// Response status tokens.
+enum class Status : std::uint8_t { kOk, kShed, kError };
+
+const char* to_string(Status s);
+
+/// A parsed response: the leading status, the key=value fields of the
+/// first line, and the framed payload (generate source / sweep rows) when
+/// the first line announced one via bytes= / rows=.
+struct Response {
+  Status status = Status::kError;
+  std::map<std::string, std::string> fields;
+  std::string payload;             ///< raw framed bytes (kGenerate)
+  std::vector<std::string> rows;   ///< framed row lines (kSweep)
+  std::string first_line;          ///< verbatim, for logging
+
+  /// Field access with default.
+  std::string get(const std::string& key, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def = 0) const;
+};
+
+/// Parses a response first line (status token + fields).  Payload framing
+/// is handled by the transport (client.cpp) since it needs more reads.
+Response parse_response_line(const std::string& line);
+
+/// Formats fields as " k=v" pairs appended to a status token.  `msg`-style
+/// free-text values must be passed last by callers that include them (the
+/// parser treats everything after "msg=" as the value).
+std::string format_fields(Status s,
+                          const std::vector<std::pair<std::string, std::string>>& kv);
+
+/// Hard cap on request-line length; longer lines are rejected as
+/// too_large without being buffered (robustness against garbage input).
+inline constexpr std::size_t kMaxRequestLine = 64 * 1024;
+
+}  // namespace ats::service

@@ -1,0 +1,56 @@
+// The in-flight request table: crash recovery for admitted work.
+//
+// Every admitted analyze/sweep request is recorded (`admit <id> <line>`)
+// before execution starts and marked (`done <id>`) when its response has
+// been produced, in a crash-consistent journal (common/fsatomic.hpp).  A
+// daemon killed mid-request therefore restarts knowing exactly which work
+// it had accepted but not finished, and re-admits each such request
+// exactly once — the cells the interrupted run already completed are in
+// the result cache, so recovery re-simulates only the remainder and a
+// client's retry of the same request becomes a cache hit.
+//
+// Exactly-once is per unique request identity (the canonical request
+// line): N identical interrupted admissions recover as one re-admission.
+// The journal compacts on load — fully-done entries are dropped through
+// an atomic rewrite — so it stays proportional to the in-flight set, not
+// to the daemon's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fsatomic.hpp"
+
+namespace ats::service {
+
+class RecoveryLog {
+ public:
+  /// Loads `path` (empty = disabled) and compacts it: entries whose admit
+  /// count is matched by dones are dropped; the rest become pending().
+  explicit RecoveryLog(std::string path);
+
+  /// Canonical request lines that were admitted but never completed, in
+  /// admission order, deduplicated.  Computed at load time.
+  const std::vector<std::string>& pending() const { return pending_; }
+
+  /// Records an admission.  Thread-safe.
+  void admit(std::uint64_t id, const std::string& canonical_line);
+
+  /// Records completion.  Thread-safe.  Periodically compacts.
+  void done(std::uint64_t id);
+
+  bool enabled() const { return !journal_.path().empty(); }
+
+ private:
+  void compact_locked();
+
+  std::mutex mu_;
+  AtomicJournal journal_;
+  std::vector<std::string> pending_;
+  /// Completions since the last compaction.
+  int dones_since_compact_ = 0;
+};
+
+}  // namespace ats::service

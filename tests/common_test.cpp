@@ -2,9 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fsatomic.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strutil.hpp"
@@ -178,6 +184,73 @@ TEST(Error, HierarchyIsCatchable) {
   EXPECT_THROW(throw MpiError("x"), UsageError);
   EXPECT_THROW(throw MpiError("x"), Error);
   EXPECT_THROW(throw DeadlockError("x"), Error);
+}
+
+// ------------------------------------------------------------- fsatomic
+
+TEST(FsAtomic, AtomicWriteFileCreatesAndReplaces) {
+  const std::string path = testing::TempDir() + "ats_fsatomic_write.txt";
+  std::remove(path.c_str());
+  atomic_write_file(path, "first\n");
+  atomic_write_file(path, "second version\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second version\n");
+  // The temp file must not linger after a successful rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(FsAtomic, JournalAppendsPersistAcrossReload) {
+  const std::string path = testing::TempDir() + "ats_fsatomic_journal.txt";
+  std::remove(path.c_str());
+  {
+    AtomicJournal j(path);
+    j.append("alpha");
+    j.append("beta");
+  }
+  AtomicJournal reloaded(path);
+  EXPECT_EQ(reloaded.lines(), (std::vector<std::string>{"alpha", "beta"}));
+  std::remove(path.c_str());
+}
+
+TEST(FsAtomic, JournalDropsTornTrailingFragment) {
+  const std::string path = testing::TempDir() + "ats_fsatomic_torn.txt";
+  std::remove(path.c_str());
+  {
+    std::ofstream f(path);
+    f << "complete line\n" << "torn fragment without newline";
+  }
+  AtomicJournal j(path);
+  EXPECT_EQ(j.lines(), (std::vector<std::string>{"complete line"}));
+  // Appending through the journal re-persists only intact lines.
+  j.append("appended");
+  AtomicJournal reloaded(path);
+  EXPECT_EQ(reloaded.lines(),
+            (std::vector<std::string>{"complete line", "appended"}));
+  std::remove(path.c_str());
+}
+
+TEST(FsAtomic, JournalRewriteReplacesContent) {
+  const std::string path = testing::TempDir() + "ats_fsatomic_rewrite.txt";
+  std::remove(path.c_str());
+  AtomicJournal j(path);
+  j.append("old 1");
+  j.append("old 2");
+  j.rewrite({"only line"});
+  EXPECT_EQ(j.lines(), (std::vector<std::string>{"only line"}));
+  AtomicJournal reloaded(path);
+  EXPECT_EQ(reloaded.lines(), (std::vector<std::string>{"only line"}));
+  std::remove(path.c_str());
+}
+
+TEST(FsAtomic, InMemoryJournalHasNoPath) {
+  AtomicJournal j("");
+  j.append("volatile");
+  EXPECT_EQ(j.lines().size(), 1u);
+  EXPECT_TRUE(j.path().empty());
 }
 
 }  // namespace

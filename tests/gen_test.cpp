@@ -2,6 +2,9 @@
 // driver source generation, registry integrity.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "gen/registry.hpp"
 #include "gen/source_gen.hpp"
 
@@ -170,6 +173,37 @@ TEST(RunConfig, TraceDisabledRunsStillWork) {
   const trace::Trace tr = run_single_property(def, def.positive, cfg);
   EXPECT_EQ(tr.event_count(), 0u);
   EXPECT_EQ(tr.location_count(), 4u);  // metadata still present
+}
+
+TEST(ExitCodes, TableIsTheSingleSourceOfTruth) {
+  const auto table = exit_code_table();
+  ASSERT_EQ(table.size(), 9u);
+  // Codes are distinct and dense from 0.
+  std::set<int> codes;
+  for (const auto& e : table) codes.insert(e.code);
+  EXPECT_EQ(codes.size(), table.size());
+  EXPECT_EQ(*codes.begin(), 0);
+  EXPECT_EQ(*codes.rbegin(), 8);
+  // The RunOutcome mapping agrees with the table's named constants.
+  EXPECT_EQ(exit_code(RunOutcome::kOk), kExitOk);
+  EXPECT_EQ(exit_code(RunOutcome::kDeadlock), kExitDeadlock);
+  EXPECT_EQ(exit_code(RunOutcome::kHang), kExitHang);
+  EXPECT_EQ(exit_code(RunOutcome::kMpiError), kExitMpiError);
+  EXPECT_EQ(exit_code(RunOutcome::kAnalysisError), kExitAnalysisError);
+  // The collective checker's defect signal and the service's shed signal
+  // are rows of the same table.
+  EXPECT_EQ(table[kExitDefectsFound].code, 7);
+  EXPECT_EQ(std::string(table[kExitDefectsFound].name), "defects_found");
+  EXPECT_EQ(table[kExitShed].code, 8);
+  EXPECT_EQ(std::string(table[kExitShed].name), "shed");
+}
+
+TEST(ExitCodes, HelpTextRendersEveryRow) {
+  const std::string help = exit_code_help();
+  for (const auto& e : exit_code_table()) {
+    EXPECT_NE(help.find(e.name), std::string::npos) << e.name;
+    EXPECT_NE(help.find(e.meaning), std::string::npos) << e.name;
+  }
 }
 
 }  // namespace

@@ -279,5 +279,58 @@ TEST(Runner, Fnv1a64MatchesReferenceVectors) {
   EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
 }
 
+TEST(Runner, JournalRowRoundTripsThroughTheSharedFormat) {
+  ExperimentRow row;
+  row.value = "0.04";
+  row.severity = VDur::seconds(0.25);
+  row.detected = true;
+  row.dominant = "late sender";
+  row.total_time = VDur::seconds(1.0);
+  row.outcome = RunOutcome::kOk;
+  row.attempts = 2;
+  row.note = "retried once";
+  const std::uint64_t fp = 0xdeadbeefcafef00dULL;
+  const std::string line = format_journal_row(fp, 7, row);
+  std::size_t index = 0;
+  ExperimentRow parsed;
+  ASSERT_TRUE(parse_journal_row(line, fp, &index, &parsed));
+  EXPECT_EQ(index, 7u);
+  EXPECT_EQ(parsed.value, row.value);
+  EXPECT_EQ(parsed.severity.ns(), row.severity.ns());
+  EXPECT_EQ(parsed.detected, row.detected);
+  EXPECT_EQ(parsed.dominant, row.dominant);
+  EXPECT_EQ(parsed.total_time.ns(), row.total_time.ns());
+  EXPECT_EQ(parsed.outcome, row.outcome);
+  EXPECT_EQ(parsed.attempts, row.attempts);
+  EXPECT_EQ(parsed.note, row.note);
+  // A row journaled under another plan must not parse for this one.
+  EXPECT_FALSE(parse_journal_row(line, fp + 1, &index, &parsed));
+}
+
+TEST(Runner, ResumeToleratesTornTrailingJournalLine) {
+  // A journal produced by a run killed mid-cell may legitimately end in
+  // anything *only* if appends are not atomic; with common/fsatomic.hpp
+  // they are, but resume must still survive a torn file (foreign writer,
+  // partial copy): the fragment is dropped, complete lines are kept.
+  const ExperimentPlan plan = late_sender_plan();
+  const std::string path = temp_journal("torn");
+  std::remove(path.c_str());
+  SupervisorOptions first;
+  first.journal_path = path;
+  const auto rows = SupervisedRunner(first).run_sweep(plan);
+  ASSERT_EQ(rows.size(), 3u);
+  {
+    std::ofstream f(path, std::ios::app);
+    f << "ffffffff\t9\ttorn-fragment-no-newline";
+  }
+  SupervisorOptions second;
+  second.journal_path = path;
+  second.resume = true;
+  const auto resumed = SupervisedRunner(second).run_sweep(plan);
+  EXPECT_EQ(gen::experiment_csv(plan, rows),
+            gen::experiment_csv(plan, resumed));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ats::runner
