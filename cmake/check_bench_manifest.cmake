@@ -1,0 +1,84 @@
+# Bench-artifact manifest gate (BENCH_index.json).
+#
+# The repo checks in one JSON artifact per bench table (BENCH_micro.json,
+# BENCH_scale.json, BENCH_service.json, BENCH_diff.json).  Each is written
+# by a different tool, so drift is easy: a renamed key or a truncated
+# check-in silently breaks the PR-to-PR diffing these files exist for.
+# BENCH_index.json is the single source of truth — every artifact is
+# listed with the tool that writes it and the top-level keys it must
+# carry — and this script validates the whole set:
+#
+#   * the manifest itself parses and declares schema ats-bench-manifest-v1,
+#   * every listed file exists and parses as JSON,
+#   * every required key is present in its file,
+#   * no BENCH_*.json at the repo root is missing from the manifest.
+#
+# Usage:
+#   cmake -DREPO_ROOT=<repo> -P cmake/check_bench_manifest.cmake
+
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "usage: cmake -DREPO_ROOT=<repo> -P check_bench_manifest.cmake")
+endif()
+
+set(manifest_path "${REPO_ROOT}/BENCH_index.json")
+if(NOT EXISTS "${manifest_path}")
+  message(FATAL_ERROR "manifest not found: ${manifest_path}")
+endif()
+
+file(READ "${manifest_path}" manifest)
+
+string(JSON schema ERROR_VARIABLE err GET "${manifest}" schema)
+if(err OR NOT schema STREQUAL "ats-bench-manifest-v1")
+  message(FATAL_ERROR "BENCH_index.json: bad or missing schema (want ats-bench-manifest-v1, got '${schema}')")
+endif()
+
+string(JSON count ERROR_VARIABLE err LENGTH "${manifest}" entries)
+if(err OR count EQUAL 0)
+  message(FATAL_ERROR "BENCH_index.json: no entries[] (${err})")
+endif()
+math(EXPR last "${count} - 1")
+
+set(listed "")
+foreach(i RANGE ${last})
+  string(JSON file GET "${manifest}" entries ${i} file)
+  string(JSON table GET "${manifest}" entries ${i} table)
+  string(JSON tool GET "${manifest}" entries ${i} tool)
+  list(APPEND listed "${file}")
+
+  if(NOT EXISTS "${REPO_ROOT}/${file}")
+    message(FATAL_ERROR "${file} (table ${table}): listed in BENCH_index.json but not checked in; regenerate with ${tool}")
+  endif()
+  file(READ "${REPO_ROOT}/${file}" content)
+
+  # The file must be well-formed JSON...
+  string(JSON dummy ERROR_VARIABLE err LENGTH "${content}")
+  if(err)
+    message(FATAL_ERROR "${file}: does not parse as JSON: ${err}")
+  endif()
+
+  # ...and carry every key its table's consumers rely on.
+  string(JSON nkeys LENGTH "${manifest}" entries ${i} required_keys)
+  math(EXPR klast "${nkeys} - 1")
+  foreach(k RANGE ${klast})
+    string(JSON key GET "${manifest}" entries ${i} required_keys ${k})
+    string(JSON value ERROR_VARIABLE err GET "${content}" ${key})
+    if(err)
+      message(FATAL_ERROR "${file} (table ${table}): required key '${key}' missing; regenerate with ${tool}")
+    endif()
+  endforeach()
+  message(STATUS "${file}: ok (table ${table}, ${nkeys} required keys)")
+endforeach()
+
+# Completeness: an artifact someone adds at the root without listing it
+# here would silently escape the gate.
+file(GLOB artifacts RELATIVE "${REPO_ROOT}" "${REPO_ROOT}/BENCH_*.json")
+list(REMOVE_ITEM artifacts "BENCH_index.json")
+foreach(f ${artifacts})
+  if(NOT f IN_LIST listed)
+    message(FATAL_ERROR "${f}: present at the repo root but not listed in BENCH_index.json")
+  endif()
+endforeach()
+
+message(STATUS "bench manifest: ${count} artifacts validated")

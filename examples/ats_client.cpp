@@ -3,13 +3,14 @@
 //   ats_client --socket /tmp/ats.sock analyze prop=late_sender np=4
 //   ats_client --socket /tmp/ats.sock sweep prop=late_sender axis=np values=2,4,8
 //   ats_client --socket /tmp/ats.sock generate prop=late_sender -o drv.cpp
+//   ats_client --socket /tmp/ats.sock diff fp_a=<hex> fp_b=<hex> values=2,4
 //   ats_client --socket /tmp/ats.sock status | ping | shutdown
 //
 // The exit code follows the unified ATS table (gen/registry.hpp): an
 // analyze response exits with its outcome's code (hang = 4, deadlock = 3,
 // ...), a shed response exits 8 after printing the retry_after_ms hint, a
-// usage rejection exits 2.  Scripts can poll `ats_client ... analyze ...`
-// and branch on $? alone.
+// usage rejection exits 2, a diff that found movement exits 9.  Scripts
+// can poll `ats_client ... analyze ...` and branch on $? alone.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -23,10 +24,12 @@ namespace {
 constexpr const char* kUsagePrefix =
     "usage: ats_client --socket <path> <op> [key=value...] [-o <file>]\n"
     "\n"
-    "ops: analyze sweep generate status ping shutdown\n"
+    "ops: analyze sweep generate diff status ping shutdown\n"
     "  analyze  prop=<name> [np=<n>] [<param>=<v>...] [deadline_ms=<n>]\n"
     "  sweep    prop=<name> axis=<param|np> values=<v,v,...> [np=<n>]\n"
     "  generate prop=<name>   (-o writes the driver source to a file)\n"
+    "  diff     fp_a=<hex> fp_b=<hex> values=<v,v,...>  (cached runs only,\n"
+    "           fingerprints from analyze/sweep fp= fields; docs/DIFF.md)\n"
     "\n";
 
 int outcome_exit_code(const std::string& outcome) {
@@ -106,6 +109,15 @@ int main(int argc, char** argv) {
                   << out_path << "\n";
       }
       return ats::gen::kExitOk;
+    }
+    if (resp.get("op") == "diff") {  // per-value delta rows
+      std::cout << "value,a_ns,b_ns,delta_ns,rel,changed,outcome_changed\n";
+      for (const std::string& r : resp.rows) std::cout << r << "\n";
+      std::cerr << "diff: " << resp.rows.size() << " values, "
+                << resp.get("changed", "0") << " changed (max_rel="
+                << resp.get("max_rel", "0") << ")\n";
+      return resp.get("regressed") == "1" ? ats::gen::kExitDiffRegression
+                                          : ats::gen::kExitOk;
     }
     if (!resp.rows.empty()) {  // sweep: journal-format rows
       std::cout << "fp\tindex\tvalue\tseverity_ns\tdetected\tdominant\t"

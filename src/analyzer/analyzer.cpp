@@ -97,6 +97,25 @@ std::vector<VDur> SeverityCube::locations_of(PropertyId p, NodeId n) const {
   return std::vector<VDur>(nlocs_, VDur::zero());
 }
 
+void SeverityCube::for_each(
+    const std::function<void(PropertyId, NodeId, trace::LocId, VDur)>& fn)
+    const {
+  for (PropertyId p : property_preorder()) {
+    std::vector<NodeId> order;
+    for (const auto& cell : cells_[static_cast<std::size_t>(p)]) {
+      order.push_back(cell.node);
+    }
+    std::sort(order.begin(), order.end());
+    for (NodeId n : order) {
+      const Cell* cell = find_cell(p, n);
+      for (std::size_t l = 0; l < cell->per_loc.size(); ++l) {
+        if (cell->per_loc[l] <= VDur::zero()) continue;
+        fn(p, n, static_cast<trace::LocId>(l), cell->per_loc[l]);
+      }
+    }
+  }
+}
+
 // -------------------------------------------------------------- DataQuality
 
 bool DataQuality::clean() const {

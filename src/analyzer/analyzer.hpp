@@ -11,6 +11,7 @@
 
 #include <bitset>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +42,16 @@ class SeverityCube {
   std::vector<NodeId> nodes_of(PropertyId p) const;
   /// Per-location severities for (property, node).
   std::vector<VDur> locations_of(PropertyId p, NodeId n) const;
+
+  /// Visits every positive (property, node, location) cell in the *stable
+  /// report order* — property pre-order, then node id ascending, then
+  /// location id ascending.  This order is the diffing contract: the
+  /// severity CSV (report::severity_csv) and the cross-run snapshot
+  /// (diff::Snapshot) are both built from it, so two analyses of the same
+  /// trace serialise identically byte for byte (docs/DIFF.md).
+  void for_each(
+      const std::function<void(PropertyId, NodeId, trace::LocId, VDur)>& fn)
+      const;
 
   std::size_t location_count() const { return nlocs_; }
 

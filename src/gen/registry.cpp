@@ -50,6 +50,8 @@ std::span<const ExitCodeEntry> exit_code_table() {
       {kExitDefectsFound, "defects_found",
        "structural collective defects reported (docs/DEFECTS.md)"},
       {kExitShed, "shed", "analysis service shed the request; retry later"},
+      {kExitDiffRegression, "diff_regression",
+       "cross-run diff found above-threshold deltas (docs/DIFF.md)"},
   };
   return kTable;
 }

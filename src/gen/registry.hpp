@@ -54,9 +54,10 @@ int exit_code(RunOutcome o);
 // gen_driver_tool, ats_validate, ats_serve/ats_client, and the generated
 // single-property drivers).  This table is the single source of truth: the
 // RunOutcome codes above are rows 0/3/4/5/6 of it, the collective checker's
-// defect signal is row 7, and the service's load-shed signal is row 8.
-// Tested (codes distinct, outcome codes consistent) in tests/gen_test.cpp
-// and rendered into --help text via exit_code_help().
+// defect signal is row 7, the service's load-shed signal is row 8, and the
+// cross-run diff's regression signal is row 9.  Tested (codes distinct,
+// outcome codes consistent) in tests/gen_test.cpp, pinned byte-for-byte in
+// tests/exit_code_test.cpp, and rendered into --help via exit_code_help().
 
 inline constexpr int kExitOk = 0;             ///< clean run / clean analysis
 inline constexpr int kExitFailure = 1;        ///< generic failure (bad input)
@@ -71,6 +72,9 @@ inline constexpr int kExitDefectsFound = 7;
 /// The analysis service shed the request under load (docs/SERVICE.md):
 /// transient, retry after the server-suggested delay.
 inline constexpr int kExitShed = 8;
+/// ats_diff found above-threshold deltas between two runs (docs/DIFF.md):
+/// the comparison itself worked, the results genuinely differ.
+inline constexpr int kExitDiffRegression = 9;
 
 struct ExitCodeEntry {
   int code;

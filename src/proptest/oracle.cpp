@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/strutil.hpp"
 #include "common/rng.hpp"
+#include "diff/diff.hpp"
 #include "faults/fault_injector.hpp"
 #include "mpisim/world.hpp"
 #include "ompsim/omp.hpp"
@@ -36,6 +37,31 @@ constexpr std::uint64_t kYieldLimit = 2'000'000;
 /// "quiet" (the negative-program criterion of the detection matrix); a
 /// positive spec's expected property must exceed it.
 constexpr double kQuietFraction = 0.02;
+
+/// True when `name` maps to `expected` or to an ancestor/descendant of it
+/// in the property tree — the acceptable attribution family for a delay
+/// injected into `expected` (a grown leaf also grows its roll-ups, and a
+/// parent property can carry the attribution when the growth lands in a
+/// child like late-sender/wrong-order).
+bool in_attribution_family(const std::string& name, PropertyId expected) {
+  PropertyId named = PropertyId::kCount_;
+  for (PropertyId p : analyze::property_preorder()) {
+    if (name == analyze::property_name(p)) {
+      named = p;
+      break;
+    }
+  }
+  if (named == PropertyId::kCount_) return false;
+  for (PropertyId cur = named;; cur = analyze::property_info(cur).parent) {
+    if (cur == expected) return true;
+    if (cur == PropertyId::kTotal) break;
+  }
+  for (PropertyId cur = expected;; cur = analyze::property_info(cur).parent) {
+    if (cur == named) return true;
+    if (cur == PropertyId::kTotal) break;
+  }
+  return false;
+}
 
 std::string first_line(const std::string& s) {
   const auto nl = s.find('\n');
@@ -255,6 +281,8 @@ const char* to_string(Oracle o) {
     case Oracle::kFormatDifferential: return "format-differential";
     case Oracle::kCorruptionInvariant: return "corruption-invariant";
     case Oracle::kCollectiveCheck: return "collective-check";
+    case Oracle::kDiffSelf: return "diff-self";
+    case Oracle::kDiffMonotone: return "diff-monotone";
   }
   return "?";
 }
@@ -485,6 +513,24 @@ CheckResult check_spec(const ProgramSpec& spec, const CheckOptions& options) {
   }
   const std::string pristine_csv = report::severity_csv(*ar, base.trace);
 
+  // --- diff self-consistency ---------------------------------------------
+  // The metamorphic identity of the cross-run differ (docs/DIFF.md):
+  // diff(run, same run) must be empty, both for a live snapshot and across
+  // the severity-CSV serialisation round-trip — if either fails, the diff
+  // layer (not the analysis) manufactured a phantom regression.
+  {
+    const diff::Snapshot snap = diff::Snapshot::from_result(*ar, base.trace);
+    if (!diff::diff_snapshots(snap, snap).empty()) {
+      violate(Oracle::kDiffSelf, "diff(run, same run) is not empty");
+    }
+    const diff::Snapshot parsed =
+        diff::Snapshot::from_severity_csv(pristine_csv);
+    if (!diff::diff_snapshots(snap, parsed).empty()) {
+      violate(Oracle::kDiffSelf,
+              "snapshot differs from its own severity-CSV round-trip");
+    }
+  }
+
   // --- format differential -----------------------------------------------
   // The binary container (TRACE_FORMAT.md §7) must be a lossless twin of
   // the text one: binary writer + zero-copy loader, re-serialised as text,
@@ -588,6 +634,30 @@ CheckResult check_spec(const ProgramSpec& spec, const CheckOptions& options) {
                     std::string(analyze::property_name(*def.expected)) +
                         " fell from " + s1.str() + " to " + s2.str() +
                         " when the delay doubled");
+          }
+          // kDiffMonotone: when the doubled delay grew the severity far
+          // beyond any noise floor, the cross-run diff must report a
+          // regression and attribute it inside the expected property's
+          // subtree family — an attribution elsewhere means the differ
+          // blames the wrong property for an injected slowdown.
+          if (s2 > s1 + longer(VDur::millis(10), s1 * 0.5)) {
+            const diff::DiffResult dd = diff::diff_snapshots(
+                diff::Snapshot::from_result(*ar, base.trace),
+                diff::Snapshot::from_result(ar2, more.trace));
+            if (!dd.regression()) {
+              violate(Oracle::kDiffMonotone,
+                      std::string(analyze::property_name(*def.expected)) +
+                          " grew from " + s1.str() + " to " + s2.str() +
+                          " but the diff reports no regression");
+            } else if (dd.attribution.empty() ||
+                       !in_attribution_family(dd.attribution,
+                                              *def.expected)) {
+              violate(Oracle::kDiffMonotone,
+                      "injected " +
+                          std::string(
+                              analyze::property_name(*def.expected)) +
+                          " delay attributed to '" + dd.attribution + "'");
+            }
           }
         }
       }

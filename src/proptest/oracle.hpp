@@ -51,6 +51,12 @@ enum class Oracle : std::uint8_t {
                          ///< silently mis-analysed
   kCollectiveCheck,      ///< the structural collective checker missed an
                          ///< injected defect, or flagged a sound program
+  kDiffSelf,             ///< diff(run, same run) was not empty, or a
+                         ///< snapshot changed across its severity-CSV
+                         ///< round-trip (docs/DIFF.md)
+  kDiffMonotone,         ///< added delay did not diff as a regression, or
+                         ///< the diff attributed it outside the expected
+                         ///< property's subtree family
 };
 
 const char* to_string(Oracle o);

@@ -200,18 +200,13 @@ std::string severity_csv(const AnalysisResult& result,
                          const trace::Trace& trace) {
   std::ostringstream os;
   os << "property,call_path,location,severity_sec\n";
-  for (PropertyId p : analyze::property_preorder()) {
-    for (NodeId n : result.cube.nodes_of(p)) {
-      const auto locs = result.cube.locations_of(p, n);
-      for (std::size_t l = 0; l < locs.size(); ++l) {
-        if (locs[l] <= VDur::zero()) continue;
-        os << analyze::property_name(p) << ","
-           << result.profile.path_string(n, trace) << ","
-           << trace.location(static_cast<trace::LocId>(l)).name << ","
-           << fmt_double(locs[l].sec(), 9) << "\n";
-      }
-    }
-  }
+  // SeverityCube::for_each is the stable-order contract shared with
+  // diff::Snapshot; rows here and cells there must stay in lockstep.
+  result.cube.for_each([&](PropertyId p, NodeId n, trace::LocId l, VDur d) {
+    os << analyze::property_name(p) << ","
+       << result.profile.path_string(n, trace) << ","
+       << trace.location(l).name << "," << fmt_double(d.sec(), 9) << "\n";
+  });
   return os.str();
 }
 

@@ -77,6 +77,15 @@ ResultCache::Found ResultCache::lookup_or_begin(std::uint64_t key,
   }
 }
 
+bool ResultCache::peek(std::uint64_t key, gen::ExperimentRow* row) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  *row = it->second;
+  ++stats_.hits;
+  return true;
+}
+
 void ResultCache::publish(std::uint64_t key, const gen::ExperimentRow& row) {
   std::lock_guard<std::mutex> lk(mu_);
   // Wall-clock-dependent outcomes are not reusable (see header).

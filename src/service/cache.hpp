@@ -62,6 +62,12 @@ class ResultCache {
   /// waiter is promoted to owner (returns kOwner).
   Found lookup_or_begin(std::uint64_t key, gen::ExperimentRow* row);
 
+  /// Read-only, non-blocking lookup: fills *row and returns true when the
+  /// key is already published.  Never registers ownership and never waits
+  /// on in-flight work — the diff verb's primitive (a cache *reader* must
+  /// not be able to wedge behind a simulating owner).
+  bool peek(std::uint64_t key, gen::ExperimentRow* row);
+
   /// Publishes the owner's row: journals it (unless outcome == kHang),
   /// caches it, wakes all waiters.
   void publish(std::uint64_t key, const gen::ExperimentRow& row);

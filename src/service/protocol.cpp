@@ -27,6 +27,23 @@ std::vector<std::string> tokens(const std::string& line) {
   return out;
 }
 
+std::uint64_t parse_hex64_field(const std::string& key,
+                                const std::string& value) {
+  require(!value.empty() && value.size() <= 16,
+          "request: " + key + " is not a hex fingerprint: '" + value + "'");
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                    (c >= 'A' && c <= 'F');
+    require(ok, "request: " + key + " is not a hex fingerprint: '" + value +
+                    "'");
+    out = (out << 4) | static_cast<std::uint64_t>(
+                           c <= '9' ? c - '0'
+                                    : (c | 0x20) - 'a' + 10);
+  }
+  return out;
+}
+
 int parse_int_field(const std::string& key, const std::string& value, int lo,
                     int hi) {
   try {
@@ -49,6 +66,7 @@ const char* to_string(Op op) {
     case Op::kAnalyze: return "analyze";
     case Op::kSweep: return "sweep";
     case Op::kGenerate: return "generate";
+    case Op::kDiff: return "diff";
     case Op::kStatus: return "status";
     case Op::kPing: return "ping";
     case Op::kShutdown: return "shutdown";
@@ -71,6 +89,7 @@ RequestClass request_class(Op op) {
     case Op::kAnalyze: return RequestClass::kAnalyze;
     case Op::kSweep: return RequestClass::kSweep;
     case Op::kGenerate: return RequestClass::kGenerate;
+    case Op::kDiff:  // pure cache reads: answered inline, never queued
     case Op::kStatus:
     case Op::kPing:
     case Op::kShutdown: return RequestClass::kControl;
@@ -100,6 +119,8 @@ Request parse_request(const std::string& line) {
     req.op = Op::kSweep;
   } else if (opname == "generate") {
     req.op = Op::kGenerate;
+  } else if (opname == "diff") {
+    req.op = Op::kDiff;
   } else if (opname == "status") {
     req.op = Op::kStatus;
   } else if (opname == "ping") {
@@ -128,6 +149,8 @@ Request parse_request(const std::string& line) {
       req.axis = value;
     } else if (key == "values") {
       req.values = split(value, ',');
+    } else if (key == "fp_a" || key == "fp_b") {
+      (key == "fp_a" ? req.fp_a : req.fp_b) = parse_hex64_field(key, value);
     } else {
       require(!value.empty(), "request: empty value for '" + key + "'");
       req.params.set(key, value);
@@ -145,6 +168,14 @@ Request parse_request(const std::string& line) {
       require(!v.empty(), "request: sweep values contain an empty entry");
     }
   }
+  if (req.op == Op::kDiff) {
+    require(req.fp_a != 0, "request: diff needs fp_a=");
+    require(req.fp_b != 0, "request: diff needs fp_b=");
+    require(!req.values.empty(), "request: diff needs values=");
+    for (const auto& v : req.values) {
+      require(!v.empty(), "request: diff values contain an empty entry");
+    }
+  }
   return req;
 }
 
@@ -155,6 +186,10 @@ std::string canonical_request_line(const Request& req) {
   if (req.op == Op::kAnalyze || req.op == Op::kSweep) os << " np=" << req.np;
   if (req.op == Op::kSweep) {
     os << " axis=" << req.axis << " values=" << join(req.values, ",");
+  }
+  if (req.op == Op::kDiff) {
+    os << " fp_a=" << std::hex << req.fp_a << " fp_b=" << req.fp_b
+       << std::dec << " values=" << join(req.values, ",");
   }
   for (const std::string& k : req.params.keys()) {
     os << ' ' << k << '=' << req.params.get_raw(k, "");

@@ -28,12 +28,14 @@ namespace ats::service {
 
 /// Operations a request can name.  kAnalyze/kSweep are *work* requests
 /// (admitted, queued, cached, journaled for recovery); kGenerate is cheap
-/// CPU-bound work (admitted but not journaled); the rest are control
-/// requests answered inline and never shed.
+/// CPU-bound work (admitted but not journaled); the rest — including
+/// kDiff, which only reads the result cache — are control requests
+/// answered inline and never shed.
 enum class Op : std::uint8_t {
   kAnalyze,
   kSweep,
   kGenerate,
+  kDiff,
   kStatus,
   kPing,
   kShutdown,
@@ -50,18 +52,23 @@ const char* to_string(RequestClass c);
 RequestClass request_class(Op op);
 
 /// A parsed request.  `params` holds only property parameters — the
-/// reserved keys (prop, np, axis, values, deadline_ms) are lifted into
-/// typed fields.
+/// reserved keys (prop, np, axis, values, deadline_ms, fp_a, fp_b) are
+/// lifted into typed fields.
 struct Request {
   Op op = Op::kPing;
   std::string prop;
   int np = 4;
   gen::ParamMap params;
-  /// Sweep axis parameter name and values (kSweep only).
+  /// Sweep axis parameter name and values (kSweep; also the cell values a
+  /// kDiff compares).
   std::string axis;
   std::vector<std::string> values;
   /// Relative deadline; zero = the server default applies.
   std::chrono::milliseconds deadline{0};
+  /// Plan fingerprints of the two cached sweeps a kDiff compares
+  /// (hex, as returned in analyze/sweep responses' fp= field).
+  std::uint64_t fp_a = 0;
+  std::uint64_t fp_b = 0;
 };
 
 /// Parses one request line.  Throws ats::UsageError with a message safe

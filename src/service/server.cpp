@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/strutil.hpp"
+#include "diff/diff.hpp"
 #include "gen/source_gen.hpp"
 
 namespace ats::service {
@@ -327,6 +328,11 @@ std::string Server::handle_line(const std::string& line, int fd) {
       return format_fields(Status::kOk, {{"pong", "1"}});
     case Op::kStatus:
       return status_response();
+    case Op::kDiff:
+      // Pure cache reads: answered inline like the other control ops, so a
+      // warm daemon compares without re-simulating (and a cold one answers
+      // not_cached instead of queueing work the client never asked for).
+      return diff_response(req);
     case Op::kShutdown:
       // Reply *before* signalling: once request_stop() fires, stop() may
       // shut this connection down and the acknowledgement would be lost.
@@ -548,6 +554,62 @@ std::string Server::execute_analyze_or_sweep(const QueuedRequest& task) {
   for (const std::string& r : rows) {
     out += "\n";
     out += r;
+  }
+  out += "\nend";
+  return out;
+}
+
+std::string Server::diff_response(const Request& req) {
+  // Both sweeps must already be cached cell by cell; a missing cell is an
+  // error, never a fresh simulation (the verb's contract: a diff reader
+  // can't create load).
+  std::vector<gen::ExperimentRow> rows_a, rows_b;
+  for (const std::string& value : req.values) {
+    gen::ExperimentRow row;
+    if (!cache_->peek(ResultCache::cell_key(req.fp_a, value), &row)) {
+      ctr_.errors.fetch_add(1, std::memory_order_relaxed);
+      return error_response("not_cached",
+                            "fp_a=" + hex64(req.fp_a) + " value=" + value +
+                                " is not in the result cache");
+    }
+    rows_a.push_back(std::move(row));
+    if (!cache_->peek(ResultCache::cell_key(req.fp_b, value), &row)) {
+      ctr_.errors.fetch_add(1, std::memory_order_relaxed);
+      return error_response("not_cached",
+                            "fp_b=" + hex64(req.fp_b) + " value=" + value +
+                                " is not in the result cache");
+    }
+    rows_b.push_back(std::move(row));
+  }
+  const std::vector<diff::RowDelta> deltas = diff::diff_rows(rows_a, rows_b);
+  std::size_t changed = 0;
+  bool regressed = false;
+  double max_rel = 0.0;
+  for (const diff::RowDelta& d : deltas) {
+    if (!d.changed) continue;
+    ++changed;
+    if (d.delta() > 0 || d.outcome_changed) regressed = true;
+    max_rel = std::max(max_rel, d.rel());
+  }
+  // Framed like a sweep response: rows= row lines, then "end".  Row format:
+  //   value,a_ns,b_ns,delta_ns,rel,changed,outcome_changed
+  std::string out = format_fields(
+      Status::kOk, {{"op", "diff"},
+                    {"fp_a", hex64(req.fp_a)},
+                    {"fp_b", hex64(req.fp_b)},
+                    {"rows", std::to_string(deltas.size())},
+                    {"changed", std::to_string(changed)},
+                    {"regressed", regressed ? "1" : "0"},
+                    {"max_rel", fmt_double(max_rel, 4)}});
+  for (const diff::RowDelta& d : deltas) {
+    const auto ns = [](double sec) {
+      return std::to_string(static_cast<std::int64_t>(sec * 1e9 + 0.5));
+    };
+    out += "\n" + d.value + "," + ns(d.a_sec) + "," + ns(d.b_sec) + "," +
+           std::to_string(static_cast<std::int64_t>(d.delta() * 1e9 +
+                                                    (d.delta() < 0 ? -0.5 : 0.5))) +
+           "," + fmt_double(d.rel(), 4) + "," + (d.changed ? "1" : "0") + "," +
+           (d.outcome_changed ? "1" : "0");
   }
   out += "\nend";
   return out;

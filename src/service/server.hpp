@@ -140,6 +140,9 @@ class Server {
                                         bool* cached);
 
   std::string status_response();
+  /// Answers a diff request from cached cells only (never simulates);
+  /// missing cells yield an error code=not_cached response.
+  std::string diff_response(const Request& req);
 
   ServerOptions opt_;
   std::unique_ptr<AdmissionController> admission_;

@@ -1,0 +1,263 @@
+// Cross-run differential analytics (src/diff, docs/DIFF.md).
+//
+// The two ISSUE-level guarantees are ctest-gated here: the golden corpus
+// self-diffs to empty, and a +20% delay injected into one property's spec
+// produces a diff attributed to exactly that property.  The rest covers
+// the noise floors, busy-work calibration, severity-CSV round-trips,
+// defect-set diffs and the sweep-row differ the service verb uses.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "common/error.hpp"
+#include "diff/diff.hpp"
+#include "gen/registry.hpp"
+
+namespace {
+
+using namespace ats;
+
+/// Canonical golden-style run of one registry property (the ats_validate
+/// --golden configuration: positive parameters, four ranks minimum).
+trace::Trace run_property(const std::string& name,
+                          double extrawork_scale = 1.0) {
+  const gen::PropertyDef& def = gen::Registry::instance().find(name);
+  gen::ParamMap params = def.positive;
+  if (extrawork_scale != 1.0) {
+    const double base = params.get_double("extrawork", 0.05);
+    params.set("extrawork", std::to_string(base * extrawork_scale));
+  }
+  gen::RunConfig cfg;
+  cfg.nprocs = std::max(def.min_procs, 4);
+  return gen::run_single_property(def, params, cfg);
+}
+
+diff::Snapshot snapshot_of(const trace::Trace& tr) {
+  return diff::Snapshot::from_result(analyze::analyze(tr), tr);
+}
+
+diff::Snapshot make_snapshot(
+    std::initializer_list<diff::SnapshotCell> cells) {
+  diff::Snapshot s;
+  s.cells = cells;
+  return s;
+}
+
+TEST(DiffSnapshot, SelfDiffOfLiveAnalysisIsEmpty) {
+  const trace::Trace tr = run_property("late_sender");
+  const diff::Snapshot snap = snapshot_of(tr);
+  ASSERT_FALSE(snap.cells.empty());
+  const diff::DiffResult d = diff::diff_snapshots(snap, snap);
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.regression());
+  EXPECT_EQ(d.attribution, "");
+  EXPECT_EQ(d.cells_compared, snap.cells.size());
+}
+
+TEST(DiffSnapshot, CsvRoundTripDiffsEmpty) {
+  const trace::Trace tr = run_property("late_sender");
+  const diff::Snapshot snap = snapshot_of(tr);
+  const diff::Snapshot parsed =
+      diff::Snapshot::from_severity_csv(snap.severity_csv());
+  ASSERT_EQ(parsed.cells.size(), snap.cells.size());
+  EXPECT_TRUE(diff::diff_snapshots(snap, parsed).empty());
+  EXPECT_TRUE(diff::diff_snapshots(parsed, snap).empty());
+  // And the re-serialisation is byte-identical (stable order contract).
+  EXPECT_EQ(parsed.severity_csv(), snap.severity_csv());
+}
+
+TEST(DiffSnapshot, RejectsForeignCsv) {
+  EXPECT_THROW(diff::Snapshot::from_severity_csv("a,b,c\n1,2,3\n"),
+               UsageError);
+  EXPECT_THROW(diff::Snapshot::from_severity_csv(
+                   "property,call_path,location,severity_sec\nonly,three\n"),
+               UsageError);
+  EXPECT_THROW(
+      diff::Snapshot::from_severity_csv(
+          "property,call_path,location,severity_sec\na,b,c,not-a-number\n"),
+      UsageError);
+}
+
+// The ISSUE acceptance criterion: +20% extrawork on late_sender must diff
+// as a regression attributed to exactly that property — and to no other
+// wait-state leaf.
+TEST(DiffAttribution, InjectedDelayAttributesToLateSender) {
+  const diff::Snapshot before = snapshot_of(run_property("late_sender"));
+  const diff::Snapshot after =
+      snapshot_of(run_property("late_sender", 1.2));
+  const diff::DiffResult d = diff::diff_snapshots(before, after);
+  ASSERT_FALSE(d.empty());
+  EXPECT_TRUE(d.regression());
+  EXPECT_EQ(d.attribution, "late sender");
+  for (const diff::PropertyDelta& p : d.properties) {
+    if (!p.regressed || p.property == "late sender") continue;
+    // Roll-ups (time, mpi, point-to-point) legitimately grow with their
+    // leaf; no *other* wait-state leaf may regress.
+    bool is_waitstate_leaf = false;
+    for (analyze::PropertyId id : analyze::property_preorder()) {
+      if (p.property == analyze::property_name(id)) {
+        is_waitstate_leaf = analyze::property_info(id).is_waitstate;
+        break;
+      }
+    }
+    EXPECT_FALSE(is_waitstate_leaf)
+        << p.property << " regressed alongside late sender";
+  }
+}
+
+TEST(DiffAttribution, ImprovementIsNotARegression) {
+  const diff::Snapshot before = snapshot_of(run_property("late_sender"));
+  const diff::Snapshot after =
+      snapshot_of(run_property("late_sender", 0.5));
+  const diff::DiffResult d = diff::diff_snapshots(before, after);
+  ASSERT_FALSE(d.empty());
+  EXPECT_FALSE(d.regression());
+  EXPECT_EQ(d.attribution, "");
+}
+
+TEST(DiffThresholds, FloorsSwallowSmallDeltas) {
+  const auto a = make_snapshot({{"late sender", "main > send", "rank 0", 1.0}});
+  // +1% is under the default 2% relative floor.
+  const auto b =
+      make_snapshot({{"late sender", "main > send", "rank 0", 1.01}});
+  EXPECT_TRUE(diff::diff_snapshots(a, b).empty());
+  // +10% clears it.
+  const auto c =
+      make_snapshot({{"late sender", "main > send", "rank 0", 1.1}});
+  const diff::DiffResult d = diff::diff_snapshots(a, c);
+  ASSERT_EQ(d.cells.size(), 1u);
+  EXPECT_EQ(d.cells[0].kind, diff::DeltaKind::kIncreased);
+  EXPECT_EQ(d.attribution, "late sender");
+  // A sub-nanosecond absolute delta never fires, whatever the ratio.
+  const auto tiny_a =
+      make_snapshot({{"late sender", "main > send", "rank 0", 2e-10}});
+  const auto tiny_b =
+      make_snapshot({{"late sender", "main > send", "rank 0", 8e-10}});
+  EXPECT_TRUE(diff::diff_snapshots(tiny_a, tiny_b).empty());
+}
+
+TEST(DiffThresholds, AddedAndRemovedCells) {
+  const auto a = make_snapshot({{"late sender", "main > send", "rank 0", 1.0}});
+  const auto b = make_snapshot({{"wait at barrier", "main", "rank 1", 0.5}});
+  const diff::DiffResult d = diff::diff_snapshots(a, b);
+  ASSERT_EQ(d.cells.size(), 2u);
+  // Sorted by |delta|: the removed 1.0 before the added 0.5.
+  EXPECT_EQ(d.cells[0].kind, diff::DeltaKind::kRemoved);
+  EXPECT_EQ(d.cells[1].kind, diff::DeltaKind::kAdded);
+  EXPECT_TRUE(d.regression());  // the appearance of wait-at-barrier
+  EXPECT_EQ(d.attribution, "wait at barrier");
+}
+
+TEST(DiffCalibration, RepeatSpreadWidensRelativeFloor) {
+  const auto r1 = make_snapshot({{"late sender", "p", "rank 0", 1.0}});
+  const auto r2 = make_snapshot({{"late sender", "p", "rank 0", 1.06}});
+  const diff::DiffOptions opt = diff::calibrate({r1, r2});
+  // Spread 6% -> floor at least 2x that, capped at 50%.
+  EXPECT_GE(opt.rel_floor, 0.11);
+  EXPECT_LE(opt.rel_floor, 0.5);
+  // A +8% "regression" is now inside the calibrated noise band...
+  const auto b = make_snapshot({{"late sender", "p", "rank 0", 1.08}});
+  EXPECT_TRUE(diff::diff_snapshots(r1, b, opt).empty());
+  // ...but a +30% one still fires.
+  const auto c = make_snapshot({{"late sender", "p", "rank 0", 1.3}});
+  EXPECT_FALSE(diff::diff_snapshots(r1, c, opt).empty());
+}
+
+TEST(DiffCalibration, FlickeringCellWidensAbsoluteFloor) {
+  const auto r1 = make_snapshot({{"late sender", "p", "rank 0", 1.0},
+                                 {"wait at barrier", "q", "rank 1", 0.002}});
+  const auto r2 = make_snapshot({{"late sender", "p", "rank 0", 1.0}});
+  const diff::DiffOptions opt = diff::calibrate({r1, r2});
+  EXPECT_GE(opt.abs_floor_sec, 0.004);
+  // The flicker-sized cell no longer diffs...
+  EXPECT_TRUE(diff::diff_snapshots(r2, r1, opt).empty());
+  // ...while calibration without flicker would have reported it.
+  EXPECT_FALSE(diff::diff_snapshots(r2, r1, {}).empty());
+}
+
+TEST(DiffDefects, SetDifferenceBothWays) {
+  diff::Snapshot a, b;
+  a.defects = {"operation-mismatch 'world' call #1: ...",
+               "missing-call 'world' call #2: ..."};
+  b.defects = {"operation-mismatch 'world' call #1: ...",
+               "root-mismatch 'world' call #3: ..."};
+  const diff::DiffResult d = diff::diff_snapshots(a, b);
+  ASSERT_EQ(d.defects_added.size(), 1u);
+  ASSERT_EQ(d.defects_removed.size(), 1u);
+  EXPECT_EQ(d.defects_added[0], "root-mismatch 'world' call #3: ...");
+  EXPECT_TRUE(d.regression());  // a new defect is always a regression
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(DiffDefects, ParseDefectLinesSkipsBannerAndNone) {
+  EXPECT_TRUE(
+      diff::parse_defect_lines("=== structural defects ===\n(none)\n")
+          .empty());
+  const auto lines = diff::parse_defect_lines(
+      "=== structural defects ===\nfirst defect\nsecond defect\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "first defect");
+}
+
+TEST(DiffRows, SweepRowsPairByValueWithFloors) {
+  auto row = [](const std::string& value, double sec) {
+    gen::ExperimentRow r;
+    r.value = value;
+    r.severity = ats::VDur::seconds(sec);
+    return r;
+  };
+  const std::vector<gen::ExperimentRow> a = {row("0.01", 0.1),
+                                             row("0.02", 0.2)};
+  std::vector<gen::ExperimentRow> b = {row("0.01", 0.1005),
+                                       row("0.02", 0.3), row("0.05", 0.5)};
+  b[1].outcome = gen::RunOutcome::kDeadlock;
+  const std::vector<diff::RowDelta> deltas = diff::diff_rows(a, b);
+  ASSERT_EQ(deltas.size(), 3u);
+  EXPECT_FALSE(deltas[0].changed);  // +0.5% is under the relative floor
+  EXPECT_TRUE(deltas[1].changed);
+  EXPECT_TRUE(deltas[1].outcome_changed);
+  EXPECT_TRUE(deltas[2].changed);  // value present only in B
+  EXPECT_FALSE(deltas[2].in_a);
+}
+
+TEST(DiffRender, TextCsvAndXmlCarryTheDelta) {
+  const auto a = make_snapshot({{"late sender", "main > send", "rank 0", 1.0}});
+  const auto b = make_snapshot({{"late sender", "main > send", "rank 0", 2.0}});
+  const diff::DiffResult d = diff::diff_snapshots(a, b);
+  const std::string text = diff::render_text(d, "A", "B");
+  EXPECT_NE(text.find("regression attributed to: late sender"),
+            std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  const std::string csv = diff::diff_csv(d);
+  EXPECT_NE(
+      csv.find("property,call_path,location,a_sec,b_sec,delta_sec,rel,kind"),
+      std::string::npos);
+  EXPECT_NE(csv.find("increased"), std::string::npos);
+  const std::string xml = diff::diff_xml(d, "A", "B");
+  EXPECT_NE(xml.find("regression=\"1\""), std::string::npos);
+  EXPECT_NE(xml.find("attribution=\"late sender\""), std::string::npos);
+}
+
+#ifdef ATS_GOLDEN_DIR
+// The checked-in golden corpus self-diffs clean through the full corpus
+// path (file scan, CSV parse, defect parse, per-entry diff).
+TEST(DiffCorpus, GoldenCorpusSelfDiffIsClean) {
+  const diff::CorpusDiff cd =
+      diff::diff_corpus(ATS_GOLDEN_DIR, ATS_GOLDEN_DIR);
+  EXPECT_GT(cd.entries_compared, 0u);
+  EXPECT_TRUE(cd.clean());
+  EXPECT_FALSE(cd.regression());
+  EXPECT_NE(diff::render_corpus_text(cd, "A", "B")
+                .find("all entries identical"),
+            std::string::npos);
+}
+
+TEST(DiffCorpus, MissingDirectoryThrows) {
+  EXPECT_THROW(diff::diff_corpus(ATS_GOLDEN_DIR, "/nonexistent-dir-xyz"),
+               Error);
+}
+#endif
+
+}  // namespace

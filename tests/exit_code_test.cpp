@@ -1,0 +1,77 @@
+// Pins the unified process exit-code table (src/gen/registry.hpp).
+//
+// Every ATS tool advertises the same table in --help via exit_code_help(),
+// and CI scripts, the service client, and the golden-diff job branch on the
+// numeric values.  Renumbering a code silently would break all of them, so
+// the rendered help text is pinned byte-for-byte here: any change to a
+// code, name, or meaning must update this golden string in the same PR.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "gen/registry.hpp"
+
+namespace {
+
+using namespace ats;
+
+// The golden rendering.  Names are pad_right to 16 columns.
+const char* kGoldenHelp =
+    "exit codes:\n"
+    "  0  ok              clean run / clean analysis\n"
+    "  1  failure         generic failure (unreadable input, I/O)\n"
+    "  2  usage           bad command line or API misuse\n"
+    "  3  deadlock        simulation deadlocked (all ranks blocked)\n"
+    "  4  hang            a supervision budget was exhausted\n"
+    "  5  mpi_error       simulated-runtime violation or injected crash\n"
+    "  6  analysis_error  trace produced but the analyzer failed\n"
+    "  7  defects_found   structural collective defects reported "
+    "(docs/DEFECTS.md)\n"
+    "  8  shed            analysis service shed the request; retry later\n"
+    "  9  diff_regression cross-run diff found above-threshold deltas "
+    "(docs/DIFF.md)\n";
+
+TEST(ExitCodes, HelpTextIsPinnedByteForByte) {
+  EXPECT_EQ(gen::exit_code_help(), kGoldenHelp)
+      << "exit_code_help() drifted from the pinned table.  If the change is "
+         "intentional, update kGoldenHelp here AND docs that cite the codes "
+         "(README.md, docs/SERVICE.md, docs/DIFF.md) in the same PR.";
+}
+
+TEST(ExitCodes, NumericValuesArePinned) {
+  EXPECT_EQ(gen::kExitOk, 0);
+  EXPECT_EQ(gen::kExitFailure, 1);
+  EXPECT_EQ(gen::kExitUsage, 2);
+  EXPECT_EQ(gen::kExitDeadlock, 3);
+  EXPECT_EQ(gen::kExitHang, 4);
+  EXPECT_EQ(gen::kExitMpiError, 5);
+  EXPECT_EQ(gen::kExitAnalysisError, 6);
+  EXPECT_EQ(gen::kExitDefectsFound, 7);
+  EXPECT_EQ(gen::kExitShed, 8);
+  EXPECT_EQ(gen::kExitDiffRegression, 9);
+}
+
+TEST(ExitCodes, TableIsDenseAscendingAndUnique) {
+  const auto table = gen::exit_code_table();
+  ASSERT_EQ(table.size(), 10u);
+  std::set<std::string> names;
+  int expect = 0;
+  for (const gen::ExitCodeEntry& e : table) {
+    EXPECT_EQ(e.code, expect++) << "table must stay dense and ascending";
+    EXPECT_TRUE(names.insert(e.name).second)
+        << "duplicate exit-code name: " << e.name;
+    EXPECT_NE(std::string(e.meaning), "");
+  }
+}
+
+TEST(ExitCodes, RunOutcomeMappingMatchesTable) {
+  EXPECT_EQ(gen::exit_code(gen::RunOutcome::kOk), gen::kExitOk);
+  EXPECT_EQ(gen::exit_code(gen::RunOutcome::kDeadlock), gen::kExitDeadlock);
+  EXPECT_EQ(gen::exit_code(gen::RunOutcome::kHang), gen::kExitHang);
+  EXPECT_EQ(gen::exit_code(gen::RunOutcome::kMpiError), gen::kExitMpiError);
+  EXPECT_EQ(gen::exit_code(gen::RunOutcome::kAnalysisError),
+            gen::kExitAnalysisError);
+}
+
+}  // namespace

@@ -177,13 +177,13 @@ TEST(RunConfig, TraceDisabledRunsStillWork) {
 
 TEST(ExitCodes, TableIsTheSingleSourceOfTruth) {
   const auto table = exit_code_table();
-  ASSERT_EQ(table.size(), 9u);
+  ASSERT_EQ(table.size(), 10u);
   // Codes are distinct and dense from 0.
   std::set<int> codes;
   for (const auto& e : table) codes.insert(e.code);
   EXPECT_EQ(codes.size(), table.size());
   EXPECT_EQ(*codes.begin(), 0);
-  EXPECT_EQ(*codes.rbegin(), 8);
+  EXPECT_EQ(*codes.rbegin(), 9);
   // The RunOutcome mapping agrees with the table's named constants.
   EXPECT_EQ(exit_code(RunOutcome::kOk), kExitOk);
   EXPECT_EQ(exit_code(RunOutcome::kDeadlock), kExitDeadlock);
@@ -196,6 +196,9 @@ TEST(ExitCodes, TableIsTheSingleSourceOfTruth) {
   EXPECT_EQ(std::string(table[kExitDefectsFound].name), "defects_found");
   EXPECT_EQ(table[kExitShed].code, 8);
   EXPECT_EQ(std::string(table[kExitShed].name), "shed");
+  // ... as is the cross-run differ's regression signal (docs/DIFF.md).
+  EXPECT_EQ(table[kExitDiffRegression].code, 9);
+  EXPECT_EQ(std::string(table[kExitDiffRegression].name), "diff_regression");
 }
 
 TEST(ExitCodes, HelpTextRendersEveryRow) {

@@ -4,7 +4,12 @@
 // socket (in-process Server + Client).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -76,9 +81,33 @@ TEST(ServiceProtocol, RequestClassPartition) {
   EXPECT_EQ(request_class(Op::kAnalyze), RequestClass::kAnalyze);
   EXPECT_EQ(request_class(Op::kSweep), RequestClass::kSweep);
   EXPECT_EQ(request_class(Op::kGenerate), RequestClass::kGenerate);
+  EXPECT_EQ(request_class(Op::kDiff), RequestClass::kControl);
   EXPECT_EQ(request_class(Op::kStatus), RequestClass::kControl);
   EXPECT_EQ(request_class(Op::kPing), RequestClass::kControl);
   EXPECT_EQ(request_class(Op::kShutdown), RequestClass::kControl);
+}
+
+TEST(ServiceProtocol, ParsesDiffRequest) {
+  const Request r = parse_request("diff fp_a=dead fp_b=Beef values=2,4,8");
+  EXPECT_EQ(r.op, Op::kDiff);
+  EXPECT_EQ(r.fp_a, 0xdeadu);
+  EXPECT_EQ(r.fp_b, 0xbeefu);  // hex digits are case-insensitive
+  EXPECT_EQ(r.values, (std::vector<std::string>{"2", "4", "8"}));
+  // Canonical line round-trips through the parser.
+  const std::string canon = canonical_request_line(r);
+  EXPECT_EQ(canonical_request_line(parse_request(canon)), canon);
+}
+
+TEST(ServiceProtocol, MalformedDiffRequestsThrowUsage) {
+  EXPECT_THROW(parse_request("diff fp_b=1 values=2"), UsageError);
+  EXPECT_THROW(parse_request("diff fp_a=1 values=2"), UsageError);
+  EXPECT_THROW(parse_request("diff fp_a=1 fp_b=2"), UsageError);  // no values
+  EXPECT_THROW(parse_request("diff fp_a=0 fp_b=2 values=2"), UsageError);
+  EXPECT_THROW(parse_request("diff fp_a=nothex fp_b=2 values=2"), UsageError);
+  // 17 hex digits overflow a uint64 fingerprint.
+  EXPECT_THROW(parse_request("diff fp_a=11112222333344445 fp_b=2 values=2"),
+               UsageError);
+  EXPECT_THROW(parse_request("diff fp_a=1 fp_b=2 values=2,,4"), UsageError);
 }
 
 // ------------------------------------------------------------ admission
@@ -502,6 +531,151 @@ TEST(ServiceServer, InterruptedWorkRecoversExactlyOnce) {
   RecoveryLog after(state + "/inflight.journal");
   EXPECT_TRUE(after.pending().empty());
   std::filesystem::remove_all(state);
+}
+
+// --------------------------------------------------- server (diff verb)
+
+TEST(ServiceServer, DiffVerbComparesCachedSweepsWithoutSimulating) {
+  Server server(base_options("diffverb"));
+  server.start();
+  Client client(server.options().socket_path);
+  const Response ra =
+      client.call("sweep prop=late_sender axis=np values=2,4 extrawork=0.05");
+  ASSERT_EQ(ra.status, Status::kOk) << ra.first_line;
+  const Response rb =
+      client.call("sweep prop=late_sender axis=np values=2,4 extrawork=0.1");
+  ASSERT_EQ(rb.status, Status::kOk) << rb.first_line;
+  const std::string fp_a = ra.get("fp"), fp_b = rb.get("fp");
+  ASSERT_NE(fp_a, "");
+  ASSERT_NE(fp_a, fp_b);  // different params, different plan fingerprint
+  const std::uint64_t sims = server.counters().simulations;
+
+  // Cross-run diff: doubled extrawork regresses, attributed per value.
+  const Response d =
+      client.call("diff fp_a=" + fp_a + " fp_b=" + fp_b + " values=2,4");
+  ASSERT_EQ(d.status, Status::kOk) << d.first_line;
+  EXPECT_EQ(d.get("op"), "diff");
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_GE(d.get_int("changed"), 1);
+  EXPECT_EQ(d.get("regressed"), "1");
+
+  // Self-diff of a fingerprint is clean by construction.
+  const Response self =
+      client.call("diff fp_a=" + fp_a + " fp_b=" + fp_a + " values=2,4");
+  ASSERT_EQ(self.status, Status::kOk);
+  EXPECT_EQ(self.get_int("changed"), 0);
+  EXPECT_EQ(self.get("regressed"), "0");
+
+  // The verb's contract: pure cache reads, zero fresh simulation.
+  EXPECT_EQ(server.counters().simulations, sims);
+  server.stop();
+}
+
+TEST(ServiceServer, DiffOfUncachedFingerprintErrorsInsteadOfSimulating) {
+  Server server(base_options("diffcold"));
+  server.start();
+  Client client(server.options().socket_path);
+  const Response r = client.call("diff fp_a=1 fp_b=2 values=4");
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_EQ(r.get("code"), "not_cached");
+  EXPECT_EQ(server.counters().simulations, 0u);
+  // Bad fingerprints are a usage error, and the connection survives both.
+  EXPECT_EQ(client.call("diff fp_a=zz fp_b=2 values=4").get("code"), "usage");
+  EXPECT_EQ(client.call("ping").status, Status::kOk);
+  server.stop();
+}
+
+// --------------------------------------------- server (frame robustness)
+
+/// Raw Unix-socket connection, bypassing the Client's framing: the
+/// robustness tests speak deliberately broken protocol.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+    timeval tv{2, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+  bool send_raw(const std::string& bytes) {
+    return ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+  /// Reads until a newline or EOF (empty string on timeout/EOF-first).
+  std::string recv_line() {
+    std::string buf;
+    char c;
+    while (::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') return buf;
+      buf.push_back(c);
+    }
+    return buf;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(ServiceServer, BinaryGarbageFramesGetErrorResponsesNotCrashes) {
+  Server server(base_options("garbage"));
+  server.start();
+  RawConn raw(server.options().socket_path);
+  ASSERT_TRUE(raw.connected());
+  // A line of binary junk (no CR/LF bytes inside) must produce an error
+  // response on the same connection, which then keeps working.
+  std::string junk = "\x01\x02\xfe\xff gar\tbage \x7f=\x03";
+  ASSERT_TRUE(raw.send_raw(junk + "\n"));
+  const std::string resp = raw.recv_line();
+  EXPECT_EQ(resp.rfind("error", 0), 0u) << resp;
+  ASSERT_TRUE(raw.send_raw("ping\n"));
+  EXPECT_EQ(raw.recv_line().rfind("ok", 0), 0u);
+  server.stop();
+}
+
+TEST(ServiceServer, TruncatedFrameNeverWedgesAWorker) {
+  Server server(base_options("truncated"));
+  server.start();
+  {
+    // Half a request, never terminated: the client vanishes mid-frame.
+    RawConn raw(server.options().socket_path);
+    ASSERT_TRUE(raw.connected());
+    ASSERT_TRUE(raw.send_raw("analyze prop=late_sen"));
+  }  // destructor closes the socket
+  // The partial line dies with its connection — no worker is stuck and no
+  // request was fabricated from the fragment.
+  Client client(server.options().socket_path);
+  const Response r = client.call("ping");
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(server.counters().accepted, 0u);
+  server.stop();
+}
+
+TEST(ServiceServer, OversizedFrameIsRejectedAndConnectionDropped) {
+  Server server(base_options("oversized"));
+  server.start();
+  RawConn raw(server.options().socket_path);
+  ASSERT_TRUE(raw.connected());
+  // 80KiB without a newline blows the 64KiB request-line bound: the server
+  // answers too_large and hangs up rather than buffering without limit.
+  const std::string flood(80 * 1024, 'a');
+  ASSERT_TRUE(raw.send_raw(flood));
+  const std::string resp = raw.recv_line();
+  EXPECT_NE(resp.find("too_large"), std::string::npos) << resp;
+  EXPECT_EQ(raw.recv_line(), "");  // connection closed after the reject
+  // The daemon itself is unharmed.
+  Client client(server.options().socket_path);
+  EXPECT_EQ(client.call("ping").status, Status::kOk);
+  EXPECT_GE(server.counters().errors, 1u);
+  server.stop();
 }
 
 TEST(ServiceServer, ShutdownRequestStopsTheDaemon) {
